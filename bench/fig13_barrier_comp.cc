@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces Figure 13: performance improvement of ReMAP
+ * barriers+computation over ReMAP barriers alone for LL3 and
+ * Dijkstra at 2/4/8/16 threads across problem sizes.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+using namespace remap;
+using workloads::Variant;
+
+namespace
+{
+
+void
+sweep(const char *name, const std::vector<unsigned> &sizes)
+{
+    power::EnergyModel model;
+    const auto &info = workloads::byName(name);
+
+    std::cout << "(" << name
+              << ") Barrier+Comp improvement over Barrier alone\n";
+    harness::Table t;
+    t.header({"Size", "p2", "p4", "p8", "p16"});
+    for (unsigned size : sizes) {
+        std::vector<std::string> row = {std::to_string(size)};
+        for (unsigned p : {2u, 4u, 8u, 16u}) {
+            auto barrier = harness::barrierSweep(
+                info, Variant::HwBarrier, p, {size}, model);
+            auto comp = harness::barrierSweep(
+                info, Variant::HwBarrierComp, p, {size}, model);
+            double improvement = barrier[0].cyclesPerIter /
+                                     comp[0].cyclesPerIter -
+                                 1.0;
+            row.push_back(harness::fmtPct(improvement, 1));
+        }
+        t.row(row);
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Figure 13: improvement of barriers+computation "
+                 "over barriers alone\n(negative values = "
+                 "computation hurts, expected for tiny problem\n"
+                 "sizes at high thread counts in LL3)\n\n";
+    sweep("ll3", {32, 64, 128, 256, 512, 1024});
+    sweep("dijkstra", {32, 64, 96, 128, 160, 192});
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Figure 14: energy x delay of the barrier workloads
+ * relative to sequential execution, versus problem size.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+using namespace remap;
+using workloads::Variant;
+
+namespace
+{
+
+void
+sweep(const char *name, const std::vector<unsigned> &sizes,
+      bool with_comp)
+{
+    power::EnergyModel model;
+    const auto &info = workloads::byName(name);
+
+    std::cout << "(" << name
+              << ") energy x delay relative to sequential\n";
+    harness::Table t;
+    std::vector<std::string> header = {"Size", "SW-p8", "SW-p16",
+                                       "Barrier-p8", "Barrier-p16"};
+    if (with_comp) {
+        header.push_back("Barr+Comp-p8");
+        header.push_back("Barr+Comp-p16");
+    }
+    t.header(header);
+
+    struct Series
+    {
+        Variant v;
+        unsigned p;
+    };
+    std::vector<Series> series = {{Variant::SwBarrier, 8},
+                                  {Variant::SwBarrier, 16},
+                                  {Variant::HwBarrier, 8},
+                                  {Variant::HwBarrier, 16}};
+    if (with_comp) {
+        series.push_back({Variant::HwBarrierComp, 8});
+        series.push_back({Variant::HwBarrierComp, 16});
+    }
+
+    for (unsigned size : sizes) {
+        std::vector<std::string> row = {std::to_string(size)};
+        for (const Series &s : series) {
+            auto pts = harness::barrierSweep(info, s.v, s.p, {size},
+                                             model);
+            row.push_back(harness::fmt(pts[0].relEd));
+        }
+        t.row(row);
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Figure 14: relative energy x delay vs problem "
+                 "size (lower is better;\n< 1.0 means the parallel "
+                 "version beats sequential on ED)\n\n";
+    sweep("ll2", {8, 16, 32, 64, 128, 256, 512}, false);
+    sweep("ll6", {8, 16, 32, 64, 128, 256}, false);
+    sweep("ll3", {32, 64, 128, 256, 512, 1024}, true);
+    sweep("dijkstra", {32, 64, 96, 128, 160, 192}, true);
+    return 0;
+}

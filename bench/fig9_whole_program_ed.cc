@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Figure 9: whole-program energy x delay of ReMAP and
+ * OOO2+Comm relative to the single-threaded OOO1 baseline.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+int
+main()
+{
+    using namespace remap;
+    using workloads::Mode;
+    power::EnergyModel model;
+
+    std::cout << "Figure 9: whole-program energy x delay relative "
+                 "to the single-threaded\nOOO1 baseline (lower is "
+                 "better)\n\n";
+
+    harness::Table t;
+    t.header({"Benchmark", "ReMAP", "OOO2+Comm"});
+    std::vector<double> ed_ratio;
+    for (const auto &w : workloads::registry()) {
+        if (w.mode == Mode::Barrier)
+            continue;
+        auto res = harness::runVariantSet(w, model);
+        auto row = harness::composeWholeProgram(w, res, model);
+        t.row({row.name, harness::fmt(row.remapRelEd),
+               harness::fmt(row.ooo2commRelEd)});
+        if (w.name != "twolf")
+            ed_ratio.push_back(row.remapRelEd / row.ooo2commRelEd);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReMAP ED vs OOO2+Comm ED, geomean excluding "
+                 "twolf: "
+              << harness::fmt(harness::geomean(ed_ratio))
+              << " (paper: ~0.65, i.e. 35% lower energy at 45% "
+                 "higher performance)\n";
+    return 0;
+}

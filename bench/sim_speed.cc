@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: how many
+ * simulated instructions/cycles per host-second the core, cache and
+ * fabric models deliver.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/system.hh"
+#include "isa/builder.hh"
+#include "mem/mem_system.hh"
+#include "spl/function.hh"
+
+using namespace remap;
+
+namespace
+{
+
+isa::Program
+makeLoop(unsigned iters)
+{
+    isa::ProgramBuilder b("loop");
+    b.li(1, 0).li(2, 0).li(3, iters).li(4, 0x10000);
+    b.label("loop")
+        .bge(1, 3, "done")
+        .andi(5, 1, 1023)
+        .slli(5, 5, 3)
+        .add(5, 5, 4)
+        .ld(6, 5, 0)
+        .add(2, 2, 6)
+        .sd(2, 5, 0)
+        .addi(1, 1, 1)
+        .j("loop")
+        .label("done")
+        .halt();
+    return b.build();
+}
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    auto prog = makeLoop(10000);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        sys::System sys(sys::SystemConfig::ooo1Cluster(1));
+        auto &t = sys.createThread(&prog);
+        sys.mapThread(t.id, 0);
+        sys.run();
+        insts += sys.core(0).committedInsts.value();
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::MemSystem mem(4);
+    Cycle now = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        addr = (addr * 1103515245 + 12345) & 0xfffff;
+        now = mem.access(addr & 3,
+                         addr * 64,
+                         mem::AccessKind::Read, now) + 1;
+        ++accesses;
+    }
+    state.counters["accesses_per_s"] = benchmark::Counter(
+        static_cast<double>(accesses),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_FabricThroughput(benchmark::State &state)
+{
+    spl::SplParams params;
+    spl::ConfigStore store;
+    ConfigId cfg = store.add(spl::functions::passthrough(1));
+    spl::BarrierUnit barriers(params);
+    spl::SplFabric fabric(0, params, &store, &barriers);
+    barriers.attachFabrics({&fabric});
+    for (unsigned c = 0; c < 4; ++c)
+        fabric.threadTable().map(c, c, 0);
+    Cycle now = 0;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        for (unsigned c = 0; c < 4; ++c) {
+            if (fabric.canInit(c, -1)) {
+                fabric.load(c, 0, 1);
+                fabric.init(c, cfg, -1, now);
+                ++ops;
+            }
+            if (fabric.outputReady(c, now))
+                benchmark::DoNotOptimize(fabric.popOutput(c));
+        }
+        fabric.tick(now);
+        ++now;
+    }
+    state.counters["fabric_ops_per_s"] = benchmark::Counter(
+        static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FabricThroughput);
+
+void
+BM_SplFunctionEval(benchmark::State &state)
+{
+    auto fn = spl::functions::hmmerMc(-100000000);
+    std::vector<std::int32_t> in = {10, 20, 5, 1, 50, -10, 7, 2,
+                                    100};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fn.evaluate(in));
+        in[0] ^= 1;
+    }
+}
+BENCHMARK(BM_SplFunctionEval);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Table I: relative area and power of four single-issue
+ * OOO cores versus the 4-way shared 24-row ReMAP fabric, computed
+ * from the calibrated 65 nm energy/area model.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+int
+main()
+{
+    using namespace remap;
+    power::EnergyModel model;
+    harness::TableOne t = harness::computeTableOne(model);
+
+    std::cout << "Table I: relative area and power of four "
+                 "single-issue OOO cores\n"
+                 "and the four-way shared ReMAP fabric (model vs. "
+                 "paper)\n\n";
+    harness::Table tab;
+    tab.header({"Config", "SPL Rows", "Total Area",
+                "Peak Dyn. Power", "Total Leak. Power"});
+    tab.row({"Four Cores", "N/A", "1.00", "1.00", "1.00"});
+    tab.row({"4-way Shared SPL (model)", "24",
+             harness::fmt(t.relArea), harness::fmt(t.relPeakDyn),
+             harness::fmt(t.relLeak)});
+    tab.row({"4-way Shared SPL (paper)", "24", "0.51", "0.14",
+             "0.67"});
+    tab.print(std::cout);
+
+    std::cout << "\nAbsolute model values:\n";
+    harness::Table abs;
+    abs.header({"Quantity", "Value"});
+    abs.row({"OOO1 core peak dynamic (W)",
+             harness::fmt(model.corePeakDynamicW(false), 3)});
+    abs.row({"OOO2 core peak dynamic (W)",
+             harness::fmt(model.corePeakDynamicW(true), 3)});
+    abs.row({"SPL 24-row peak dynamic (W)",
+             harness::fmt(model.splPeakDynamicW(24), 3)});
+    abs.row({"OOO1 core + L2 leakage (W)",
+             harness::fmt(model.coreLeakW(false), 3)});
+    abs.row({"SPL 24-row leakage (W)",
+             harness::fmt(model.splLeakW(24), 3)});
+    abs.print(std::cout);
+    return 0;
+}

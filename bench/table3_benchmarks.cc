@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Table III: the benchmark inventory with the optimized
+ * functions and their fraction of execution time, plus the measured
+ * size of each simulated region (sequential baseline).
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+int
+main()
+{
+    using namespace remap;
+    using workloads::Mode;
+    power::EnergyModel model;
+
+    std::cout << "Table III: benchmark details (exec-time fractions "
+                 "from the paper;\nregion instruction counts measured "
+                 "on this simulator)\n\n";
+
+    auto section = [&](Mode mode, const char *title) {
+        std::cout << title << "\n";
+        harness::Table t;
+        t.header({"Benchmark", "Functions Optimized", "% Exec Time",
+                  "Seq Region Insts", "Seq Region Cycles"});
+        for (const auto &w : workloads::registry()) {
+            if (w.mode != mode)
+                continue;
+            workloads::RunSpec spec;
+            spec.variant = workloads::Variant::Seq;
+            workloads::PreparedRun run = w.make(spec);
+            auto rr = run.run();
+            if (run.verify && !run.verify()) {
+                std::cerr << "verification failed for " << w.name
+                          << "\n";
+                return 1;
+            }
+            std::uint64_t insts = 0;
+            for (unsigned c = 0; c < run.system->numCores(); ++c)
+                insts +=
+                    run.system->core(c).committedInsts.value();
+            t.row({w.name, w.functions,
+                   harness::fmtPct(w.execFraction),
+                   std::to_string(insts),
+                   std::to_string(rr.cycles)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+        return 0;
+    };
+
+    if (section(Mode::ComputeOnly, "Computation Only"))
+        return 1;
+    if (section(Mode::CommComp, "Communication+Computation"))
+        return 1;
+    if (section(Mode::Barrier, "Barrier Synchronization"))
+        return 1;
+    return 0;
+}

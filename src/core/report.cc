@@ -1,0 +1,97 @@
+#include "core/report.hh"
+
+#include <iomanip>
+
+#include "core/system.hh"
+
+namespace remap::sys
+{
+
+std::uint64_t
+RunReport::totalInsts() const
+{
+    std::uint64_t total = 0;
+    for (const CoreReport &c : cores)
+        total += c.committedInsts;
+    return total;
+}
+
+void
+RunReport::print(std::ostream &os) const
+{
+    os << "run: " << cycles << " cycles, " << totalInsts()
+       << " instructions\n";
+    for (const CoreReport &c : cores) {
+        if (c.committedInsts == 0)
+            continue;
+        os << "  core" << c.core << ": " << c.committedInsts
+           << " insts, ipc " << std::fixed << std::setprecision(2)
+           << c.ipc << ", mispredict " << std::setprecision(1)
+           << 100.0 * c.mispredictRate << "%, l1d miss "
+           << 100.0 * c.l1dMissRate << "%, l2 miss "
+           << 100.0 * c.l2MissRate << "%";
+        if (c.splOps)
+            os << ", " << c.splOps << " SPL ops";
+        os << "\n";
+    }
+    for (const FabricReport &f : fabrics) {
+        if (f.initiations == 0)
+            continue;
+        os << "  spl" << f.fabric << ": " << f.initiations
+           << " initiations, " << f.rowActivations
+           << " row activations (" << std::setprecision(1)
+           << 100.0 * f.utilization << "% row occupancy), "
+           << f.configSwitches << " config loads, " << f.barrierOps
+           << " barrier ops\n";
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+RunReport
+makeReport(System &system, Cycle cycles)
+{
+    RunReport r;
+    r.cycles = cycles;
+    for (unsigned c = 0; c < system.numCores(); ++c) {
+        auto &core = system.core(c);
+        CoreReport cr;
+        cr.core = c;
+        cr.committedInsts = core.committedInsts.value();
+        const auto active = core.activeCycles.value();
+        cr.ipc = active ? double(cr.committedInsts) / active : 0.0;
+        const auto branches = core.committedBranches.value();
+        cr.mispredictRate =
+            branches ? double(core.mispredicts.value()) / branches
+                     : 0.0;
+        auto rate = [](const mem::Cache &cache) {
+            auto &mut = const_cast<mem::Cache &>(cache);
+            const double total = double(mut.hits.value()) +
+                                 double(mut.misses.value());
+            return total > 0 ? mut.misses.value() / total : 0.0;
+        };
+        cr.l1dMissRate = rate(system.memSystem().l1d(c));
+        cr.l2MissRate = rate(system.memSystem().l2(c));
+        cr.splOps = core.committedSplOps.value();
+        r.cores.push_back(cr);
+    }
+    for (unsigned f = 0; f < system.numFabrics(); ++f) {
+        auto &fabric = system.fabric(f);
+        FabricReport fr;
+        fr.fabric = f;
+        fr.initiations = fabric.initiations.value();
+        fr.rowActivations = fabric.rowActivations.value();
+        const double spl_cycles =
+            double(cycles) /
+            fabric.params().coreCyclesPerSplCycle;
+        const double capacity =
+            spl_cycles * fabric.params().physRows;
+        fr.utilization =
+            capacity > 0 ? fr.rowActivations / capacity : 0.0;
+        fr.configSwitches = fabric.configSwitches.value();
+        fr.barrierOps = fabric.barrierOps.value();
+        r.fabrics.push_back(fr);
+    }
+    return r;
+}
+
+} // namespace remap::sys

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Structured end-of-run reporting: derives the headline metrics a
+ * user actually wants (IPC, miss rates, mispredict rates, fabric
+ * utilization) from the raw counters of a finished System run.
+ */
+
+#ifndef REMAP_CORE_REPORT_HH
+#define REMAP_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace remap::sys
+{
+
+class System;
+
+/** Headline metrics for one core. */
+struct CoreReport
+{
+    CoreId core = 0;
+    std::uint64_t committedInsts = 0;
+    double ipc = 0.0;             ///< committed / active cycles
+    double mispredictRate = 0.0;  ///< mispredicts / branches
+    double l1dMissRate = 0.0;     ///< misses / (hits+misses)
+    double l2MissRate = 0.0;
+    std::uint64_t splOps = 0;
+};
+
+/** Headline metrics for one fabric. */
+struct FabricReport
+{
+    unsigned fabric = 0;
+    std::uint64_t initiations = 0;
+    std::uint64_t rowActivations = 0;
+    /** Row-occupancy fraction: activated rows / (rows x SPL cycles). */
+    double utilization = 0.0;
+    std::uint64_t configSwitches = 0;
+    std::uint64_t barrierOps = 0;
+};
+
+/** Whole-run report. */
+struct RunReport
+{
+    Cycle cycles = 0;
+    std::vector<CoreReport> cores;
+    std::vector<FabricReport> fabrics;
+
+    /** Sum of committed instructions across cores. */
+    std::uint64_t totalInsts() const;
+
+    /** Human-readable dump. */
+    void print(std::ostream &os) const;
+};
+
+/** Build a report from @p system's counters over @p cycles. */
+RunReport makeReport(System &system, Cycle cycles);
+
+} // namespace remap::sys
+
+#endif // REMAP_CORE_REPORT_HH

@@ -1,0 +1,309 @@
+#include "core/system.hh"
+
+#include "sim/logging.hh"
+
+namespace remap::sys
+{
+
+SystemConfig
+SystemConfig::splCluster(unsigned partitions)
+{
+    return splClusters(1, partitions);
+}
+
+SystemConfig
+SystemConfig::splClusters(unsigned n, unsigned partitions)
+{
+    SystemConfig cfg;
+    for (unsigned i = 0; i < n; ++i) {
+        ClusterConfig c;
+        c.coreType = cpu::CoreParams::ooo1();
+        c.numCores = 4;
+        c.hasSpl = true;
+        c.splPartitions = partitions;
+        cfg.clusters.push_back(c);
+    }
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::ooo2Cluster(unsigned n)
+{
+    SystemConfig cfg;
+    ClusterConfig c;
+    c.coreType = cpu::CoreParams::ooo2();
+    c.numCores = n;
+    c.hasSpl = false;
+    cfg.clusters.push_back(c);
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::ooo2Comm(unsigned n)
+{
+    SystemConfig cfg;
+    ClusterConfig c;
+    c.coreType = cpu::CoreParams::ooo2();
+    c.numCores = n;
+    c.hasSpl = true;
+    c.fabricIsIdealComm = true;
+    c.splParams.coresPerCluster = n;
+    c.splParams.coreCyclesPerSplCycle = 1; // full core clock
+    c.splParams.outputTransferSplCycles = 0;
+    c.splParams.configLoadSplCyclesPerRow = 0;
+    c.splParams.barrierBusLatency = 0;
+    cfg.clusters.push_back(c);
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::ooo1Cluster(unsigned n)
+{
+    SystemConfig cfg;
+    ClusterConfig c;
+    c.coreType = cpu::CoreParams::ooo1();
+    c.numCores = n;
+    c.hasSpl = false;
+    cfg.clusters.push_back(c);
+    return cfg;
+}
+
+System::System(const SystemConfig &config)
+    : config_(config), barrierUnit_(barrierParams_)
+{
+    REMAP_ASSERT(!config.clusters.empty(), "system with no clusters");
+
+    unsigned total_cores = 0;
+    for (const ClusterConfig &c : config.clusters)
+        total_cores += c.numCores;
+    mem_ = std::make_unique<mem::MemSystem>(total_cores,
+                                            config.memParams);
+
+    CoreId next_core = 0;
+    ClusterId next_fabric = 0;
+    for (const ClusterConfig &c : config.clusters) {
+        clusterOfFirstCore_.push_back(next_core);
+        spl::SplFabric *fabric = nullptr;
+        if (c.hasSpl) {
+            REMAP_ASSERT(c.numCores == c.splParams.coresPerCluster,
+                         "SPL cluster core count must match fabric "
+                         "sharing degree");
+            fabrics_.push_back(std::make_unique<spl::SplFabric>(
+                next_fabric, c.splParams, &configs_, &barrierUnit_));
+            fabric = fabrics_.back().get();
+            fabric->setPartitions(c.splPartitions);
+            fabricIsIdeal_.push_back(c.fabricIsIdealComm);
+            ++next_fabric;
+        }
+        for (unsigned i = 0; i < c.numCores; ++i) {
+            cores_.push_back(std::make_unique<cpu::OooCore>(
+                next_core, c.coreType, mem_.get(), &image_));
+            coreFabric_.push_back(fabric);
+            coreSlot_.push_back(i);
+            coreIsOoo2_.push_back(c.coreType.issueWidth > 1);
+            if (fabric)
+                cores_.back()->attachSpl(fabric, i);
+            ++next_core;
+        }
+    }
+
+    std::vector<spl::SplFabric *> raw;
+    raw.reserve(fabrics_.size());
+    for (auto &f : fabrics_)
+        raw.push_back(f.get());
+    barrierUnit_.attachFabrics(std::move(raw));
+}
+
+ConfigId
+System::registerFunction(spl::SplFunction fn)
+{
+    return configs_.add(std::move(fn));
+}
+
+void
+System::declareBarrier(std::uint32_t id, unsigned total)
+{
+    barrierUnit_.declare(id, total);
+}
+
+cpu::ThreadContext &
+System::createThread(const isa::Program *prog)
+{
+    cpu::ThreadContext ctx;
+    ctx.id = static_cast<ThreadId>(threads_.size());
+    ctx.reset(prog);
+    threads_.push_back(ctx);
+    return threads_.back();
+}
+
+void
+System::mapThread(ThreadId tid, CoreId core_id)
+{
+    REMAP_ASSERT(tid < threads_.size(), "unknown thread");
+    REMAP_ASSERT(core_id < cores_.size(), "unknown core");
+    cpu::ThreadContext &ctx = threads_[tid];
+    cores_[core_id]->bindThread(&ctx);
+    if (spl::SplFabric *fabric = coreFabric_[core_id])
+        fabric->threadTable().map(coreSlot_[core_id], ctx.id,
+                                  ctx.app);
+}
+
+bool
+System::isOoo2(CoreId core) const
+{
+    return coreIsOoo2_.at(core);
+}
+
+void
+System::scheduleMigration(ThreadId tid, CoreId to_core, Cycle at)
+{
+    REMAP_ASSERT(tid < threads_.size(), "unknown thread");
+    REMAP_ASSERT(to_core < cores_.size(), "unknown core");
+    Migration m;
+    m.tid = tid;
+    m.to = to_core;
+    m.at = at;
+    migrations_.push_back(m);
+}
+
+void
+System::processMigrations()
+{
+    for (auto it = migrations_.begin(); it != migrations_.end();) {
+        Migration &m = *it;
+        switch (m.state) {
+          case Migration::State::Waiting: {
+            if (cycle_ < m.at)
+                break;
+            // Locate the source core lazily (the thread may itself
+            // have been migrated since scheduling).
+            m.from = invalidCore;
+            for (auto &core : cores_) {
+                if (core->thread() == &threads_[m.tid]) {
+                    m.from = core->id();
+                    break;
+                }
+            }
+            REMAP_ASSERT(m.from != invalidCore,
+                         "migrating an unmapped thread");
+            cores_[m.from]->requestDrain();
+            m.state = Migration::State::Draining;
+            break;
+          }
+          case Migration::State::Draining: {
+            cpu::OooCore &from = *cores_[m.from];
+            if (!from.drained())
+                break;
+            spl::SplFabric *fabric = coreFabric_[m.from];
+            if (fabric && !fabric->threadTable().canSwitchOut(
+                              coreSlot_[m.from])) {
+                // Section II-B.1: in-flight fabric results pin the
+                // thread; it keeps executing and we retry later.
+                from.cancelDrain();
+                m.state = Migration::State::Waiting;
+                m.at = cycle_ + 64;
+                break;
+            }
+            if (fabric)
+                fabric->threadTable().unmap(coreSlot_[m.from]);
+            from.unbindThread();
+            m.state = Migration::State::Switching;
+            m.resumeAt = cycle_ + config_.migrationSwitchCycles;
+            break;
+          }
+          case Migration::State::Switching: {
+            if (cycle_ < m.resumeAt)
+                break;
+            REMAP_ASSERT(cores_[m.to]->thread() == nullptr,
+                         "migration target core is occupied");
+            mapThread(m.tid, m.to);
+            ++migrationsCompleted;
+            it = migrations_.erase(it);
+            continue;
+          }
+        }
+        ++it;
+    }
+}
+
+RunResult
+System::run(Cycle max_cycles)
+{
+    RunResult result;
+    const Cycle start = cycle_;
+    while (true) {
+        for (auto &core : cores_)
+            core->tick(cycle_);
+        for (auto &fabric : fabrics_)
+            fabric->tick(cycle_);
+        processMigrations();
+        ++cycle_;
+
+        bool done = migrations_.empty();
+        for (auto &core : cores_)
+            if (!core->done()) {
+                done = false;
+                break;
+            }
+        if (done) {
+            for (auto &fabric : fabrics_)
+                if (!fabric->idle())
+                    done = false;
+        }
+        if (done && barrierUnit_.pendingBarriers() > 0)
+            done = false;
+        if (done)
+            break;
+        if (cycle_ - start >= max_cycles) {
+            result.timedOut = true;
+            REMAP_WARN("run() hit the %llu-cycle limit",
+                       static_cast<unsigned long long>(max_cycles));
+            break;
+        }
+    }
+    result.cycles = cycle_ - start;
+    return result;
+}
+
+power::Energy
+System::measureEnergy(const power::EnergyModel &model, Cycle cycles,
+                      bool include_idle_cores)
+{
+    power::Energy total;
+    for (auto &core : cores_) {
+        const bool is_ooo2 = coreIsOoo2_[core->id()];
+        if (core->thread() != nullptr) {
+            total += model.coreEnergy(*core, *mem_, cycles, is_ooo2);
+        } else if (include_idle_cores) {
+            total += model.idleCoreLeakage(cycles, is_ooo2);
+        }
+    }
+    for (unsigned f = 0; f < fabrics_.size(); ++f) {
+        if (fabricIsIdeal_[f])
+            continue; // idealized comm network: zero hardware cost
+        total += model.splEnergy(*fabrics_[f], cycles);
+    }
+    return total;
+}
+
+void
+System::dumpStats(std::ostream &os)
+{
+    for (auto &core : cores_)
+        core->dumpStats(os);
+    mem_->dumpStats(os);
+    for (auto &fabric : fabrics_)
+        fabric->dumpStats(os);
+}
+
+void
+System::resetStats()
+{
+    for (auto &core : cores_)
+        core->resetStats();
+    mem_->resetStats();
+    for (auto &fabric : fabrics_)
+        fabric->resetStats();
+}
+
+} // namespace remap::sys

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * System — the ReMAP chip: clusters of cores, optionally sharing an
+ * SPL fabric, over a MESI memory hierarchy, with the chip-wide
+ * barrier unit and SPL configuration store. This is the public façade
+ * a user of the library drives: create a system, register SPL
+ * functions, create and map threads, run to completion, read stats.
+ *
+ * @code
+ *   sys::SystemConfig cfg = sys::SystemConfig::splCluster();
+ *   sys::System system(cfg);
+ *   ConfigId min_cfg =
+ *       system.registerFunction(spl::functions::globalMin());
+ *   auto &t0 = system.createThread(&producer_prog);
+ *   auto &t1 = system.createThread(&consumer_prog);
+ *   system.mapThread(t0.id, 0);
+ *   system.mapThread(t1.id, 1);
+ *   sys::RunResult r = system.run();
+ * @endcode
+ */
+
+#ifndef REMAP_CORE_SYSTEM_HH
+#define REMAP_CORE_SYSTEM_HH
+
+#include <deque>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "cpu/thread.hh"
+#include "mem/mem_system.hh"
+#include "mem/memory_image.hh"
+#include "power/energy.hh"
+#include "sim/types.hh"
+#include "spl/fabric.hh"
+
+namespace remap::sys
+{
+
+/** Configuration of one cluster of cores. */
+struct ClusterConfig
+{
+    cpu::CoreParams coreType = cpu::CoreParams::ooo1();
+    unsigned numCores = 4;
+    bool hasSpl = true;
+    spl::SplParams splParams{};
+    /** Spatial partitions of the cluster fabric (1, 2 or 4). */
+    unsigned splPartitions = 1;
+    /**
+     * When true, this cluster's fabric models the paper's *idealized,
+     * zero-hardware-cost* dedicated communication network (the
+     * OOO2+Comm baseline): its energy is excluded from
+     * measureEnergy() and its latency parameters should be set via
+     * spl::SplParams idealized values.
+     */
+    bool fabricIsIdealComm = false;
+};
+
+/** Whole-chip configuration. */
+struct SystemConfig
+{
+    std::vector<ClusterConfig> clusters;
+    mem::MemSystemParams memParams{};
+    ClockParams clocks{};
+    /** Context-switch cost of a thread migration (Section V-A). */
+    Cycle migrationSwitchCycles = 500;
+
+    /** One SPL cluster: 4 OOO1 cores + 24-row fabric. */
+    static SystemConfig splCluster(unsigned partitions = 1);
+    /** @p n SPL clusters (for multi-cluster barrier studies). */
+    static SystemConfig splClusters(unsigned n,
+                                    unsigned partitions = 1);
+    /** One cluster of @p n OOO2 cores, no fabric (OOO2+Comm base). */
+    static SystemConfig ooo2Cluster(unsigned n = 4);
+    /** @p n OOO2 cores plus an idealized dedicated communication
+     *  network (modelled as a zero-cost 1-core-cycle queue fabric):
+     *  the paper's OOO2+Comm configuration. */
+    static SystemConfig ooo2Comm(unsigned n = 4);
+    /** One cluster of @p n OOO1 cores, no fabric (SW baselines). */
+    static SystemConfig ooo1Cluster(unsigned n = 1);
+};
+
+/** Outcome of a run() call. */
+struct RunResult
+{
+    /** Core cycles elapsed during this run. */
+    Cycle cycles = 0;
+    /** True when the run hit the cycle limit before quiescing. */
+    bool timedOut = false;
+};
+
+/** The simulated ReMAP chip. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    /** Functional memory shared by every core. */
+    mem::MemoryImage &memory() { return image_; }
+    /** Timing memory hierarchy. */
+    mem::MemSystem &memSystem() { return *mem_; }
+
+    /** Register an SPL function chip-wide; @return its config id. */
+    ConfigId registerFunction(spl::SplFunction fn);
+    /** Declare barrier @p id with @p total participants. */
+    void declareBarrier(std::uint32_t id, unsigned total);
+
+    /** Create a thread running @p prog (thread ids are dense). */
+    cpu::ThreadContext &createThread(const isa::Program *prog);
+    /** Place thread @p tid on global core @p core. */
+    void mapThread(ThreadId tid, CoreId core);
+
+    /**
+     * Schedule thread @p tid to migrate to @p to_core at cycle
+     * @p at. The migration drains the source pipeline, honours the
+     * SPL switch-out blocking rule (a thread with in-flight fabric
+     * results keeps executing until they drain, Section II-B.1),
+     * then pays SystemConfig::migrationSwitchCycles before the
+     * thread resumes on the destination core.
+     */
+    void scheduleMigration(ThreadId tid, CoreId to_core, Cycle at);
+
+    /** Completed migrations (for tests/stats). */
+    StatCounter migrationsCompleted;
+
+    /**
+     * Run until every core is done and all fabrics/barriers quiesce,
+     * or @p max_cycles elapse (then RunResult::timedOut is set).
+     */
+    RunResult run(Cycle max_cycles = 2'000'000'000ULL);
+
+    /** Number of cores on the chip. */
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+    /** Number of clusters. */
+    unsigned numClusters() const
+    {
+        return static_cast<unsigned>(clusterOfFirstCore_.size());
+    }
+    /** Number of SPL fabrics. */
+    unsigned numFabrics() const
+    {
+        return static_cast<unsigned>(fabrics_.size());
+    }
+
+    /** Core accessor. */
+    cpu::OooCore &core(CoreId id) { return *cores_.at(id); }
+    /** Fabric accessor (dense fabric index). */
+    spl::SplFabric &fabric(unsigned idx) { return *fabrics_.at(idx); }
+    /** Thread accessor. */
+    cpu::ThreadContext &thread(ThreadId tid)
+    {
+        return threads_.at(tid);
+    }
+    /** The chip-wide barrier unit. */
+    spl::BarrierUnit &barrierUnit() { return barrierUnit_; }
+
+    /** True when @p core uses the OOO2 parameter set. */
+    bool isOoo2(CoreId core) const;
+    /** Fabric serving @p core, or nullptr. */
+    spl::SplFabric *fabricOf(CoreId core)
+    {
+        return coreFabric_.at(core);
+    }
+
+    /** Current simulated cycle. */
+    Cycle now() const { return cycle_; }
+
+    /** Total energy over @p cycles: mapped cores (by their type),
+     *  their caches, plus every fabric. Unmapped cores contribute
+     *  idle leakage when @p include_idle_cores. */
+    power::Energy measureEnergy(const power::EnergyModel &model,
+                                Cycle cycles,
+                                bool include_idle_cores = true);
+
+    /** Dump all component stats. */
+    void dumpStats(std::ostream &os);
+    /** Reset all component stats (start of a measured region). */
+    void resetStats();
+
+  private:
+    SystemConfig config_;
+    mem::MemoryImage image_;
+    std::unique_ptr<mem::MemSystem> mem_;
+    spl::ConfigStore configs_;
+    spl::SplParams barrierParams_{};
+    spl::BarrierUnit barrierUnit_;
+    std::vector<std::unique_ptr<cpu::OooCore>> cores_;
+    std::vector<std::unique_ptr<spl::SplFabric>> fabrics_;
+    std::vector<spl::SplFabric *> coreFabric_; ///< per-core, nullable
+    std::vector<bool> fabricIsIdeal_;          ///< per-fabric flag
+    std::vector<unsigned> coreSlot_;           ///< local slot in fabric
+    std::vector<bool> coreIsOoo2_;
+    std::vector<CoreId> clusterOfFirstCore_;
+    std::deque<cpu::ThreadContext> threads_;
+    Cycle cycle_ = 0;
+
+    struct Migration
+    {
+        ThreadId tid;
+        CoreId from = invalidCore;
+        CoreId to;
+        Cycle at;
+        enum class State
+        {
+            Waiting,
+            Draining,
+            Switching,
+        } state = State::Waiting;
+        Cycle resumeAt = 0;
+    };
+    void processMigrations();
+    std::vector<Migration> migrations_;
+};
+
+} // namespace remap::sys
+
+#endif // REMAP_CORE_SYSTEM_HH

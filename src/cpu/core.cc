@@ -1,0 +1,882 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace remap::cpu
+{
+
+namespace
+{
+
+/** Execution latency by scheduling class, in core cycles. */
+Cycle
+opLatency(isa::OpClass cls)
+{
+    using isa::OpClass;
+    switch (cls) {
+      case OpClass::IntAlu:   return 1;
+      case OpClass::IntMult:  return 3;
+      case OpClass::IntDiv:   return 20;
+      case OpClass::FpAlu:    return 4;
+      case OpClass::FpMult:   return 6;
+      case OpClass::FpDiv:    return 24;
+      case OpClass::Branch:   return 1;
+      case OpClass::SplLoad:
+      case OpClass::SplInit:
+      case OpClass::SplCfg:   return 1;
+      case OpClass::SplStore: return 2;
+      case OpClass::SplLoadMem:
+      case OpClass::SplStoreMem: return 2; // overridden by cache
+      case OpClass::Store:    return 1;
+      case OpClass::Fence:    return 1;
+      case OpClass::Halt:     return 1;
+      case OpClass::Load:
+      case OpClass::Amo:      return 2; // overridden by cache access
+    }
+    return 1;
+}
+
+bool
+usesFpQueue(isa::OpClass cls)
+{
+    using isa::OpClass;
+    return cls == OpClass::FpAlu || cls == OpClass::FpMult ||
+           cls == OpClass::FpDiv;
+}
+
+/** Synthetic code-space base for a thread (outside workload data). */
+std::uint64_t
+codeBase(ThreadId tid)
+{
+    return 0x4000'0000ULL + (std::uint64_t(tid) << 20);
+}
+
+} // namespace
+
+CoreParams
+CoreParams::ooo1()
+{
+    CoreParams p;
+    p.name = "ooo1";
+    return p;
+}
+
+CoreParams
+CoreParams::ooo2()
+{
+    CoreParams p;
+    p.name = "ooo2";
+    p.fetchWidth = 4;
+    p.renameWidth = 4;
+    p.issueWidth = 2;
+    p.retireWidth = 2;
+    p.intAlus = 2;
+    p.branchUnits = 2;
+    return p;
+}
+
+OooCore::OooCore(CoreId id, const CoreParams &params,
+                 mem::MemSystem *mem, mem::MemoryImage *image)
+    : id_(id),
+      params_(params),
+      mem_(mem),
+      image_(image),
+      bpred_(params.bpred),
+      statGroup_("core" + std::to_string(id) + "." + params.name)
+{
+    statGroup_.addCounter("committed_insts", &committedInsts);
+    statGroup_.addCounter("committed_int", &committedIntOps);
+    statGroup_.addCounter("committed_fp", &committedFpOps);
+    statGroup_.addCounter("committed_loads", &committedLoads);
+    statGroup_.addCounter("committed_stores", &committedStores);
+    statGroup_.addCounter("committed_branches", &committedBranches);
+    statGroup_.addCounter("committed_spl", &committedSplOps);
+    statGroup_.addCounter("fetched_insts", &fetchedInsts);
+    statGroup_.addCounter("mispredicts", &mispredicts);
+    statGroup_.addCounter("rob_full_stalls", &robFullStalls);
+    statGroup_.addCounter("iq_full_stalls", &iqFullStalls);
+    statGroup_.addCounter("lsq_full_stalls", &lsqFullStalls);
+    statGroup_.addCounter("spl_commit_stalls", &splCommitStalls);
+    statGroup_.addCounter("spl_fetch_stalls", &splFetchStalls);
+    statGroup_.addCounter("fetch_stall_cycles", &fetchStallCycles);
+    statGroup_.addCounter("active_cycles", &activeCycles);
+}
+
+void
+OooCore::attachSpl(spl::SplFabric *fabric, unsigned local_slot)
+{
+    spl_ = fabric;
+    splSlot_ = local_slot;
+}
+
+void
+OooCore::bindThread(ThreadContext *ctx)
+{
+    REMAP_ASSERT(rob_.empty() && fb_.empty(),
+                 "binding a thread over a live pipeline");
+    ctx_ = ctx;
+    fetchHalted_ = ctx == nullptr || ctx->halted;
+    fetchResumeCycle_ = 0;
+    fetchBlockedOnSeq_ = 0;
+    std::fill(std::begin(intProducer_), std::end(intProducer_), 0);
+    std::fill(std::begin(fpProducer_), std::end(fpProducer_), 0);
+}
+
+bool
+OooCore::done() const
+{
+    return !ctx_ || (ctx_->halted && rob_.empty() && fb_.empty());
+}
+
+const OooCore::DynInst *
+OooCore::findBySeq(std::uint64_t seq) const
+{
+    if (rob_.empty() || seq < rob_.front().seq ||
+        seq > rob_.back().seq)
+        return nullptr;
+    const DynInst &d = rob_[seq - rob_.front().seq];
+    return &d;
+}
+
+std::uint64_t
+OooCore::producerOf(bool fp, isa::RegIndex r) const
+{
+    std::uint64_t seq = fp ? fpProducer_[r] : intProducer_[r];
+    if (seq == 0 || !findBySeq(seq))
+        return 0;
+    return seq;
+}
+
+void
+OooCore::recordProducer(const DynInst &d)
+{
+    if (d.si->writesIntReg())
+        intProducer_[d.si->rd] = d.seq;
+    else if (d.si->writesFpReg())
+        fpProducer_[d.si->rd] = d.seq;
+}
+
+bool
+OooCore::operandsReady(const DynInst &d, Cycle now) const
+{
+    for (std::uint64_t dep : {d.dep1, d.dep2}) {
+        if (dep == 0)
+            continue;
+        const DynInst *p = findBySeq(dep);
+        if (p && (p->stage != Stage::Completed ||
+                  p->completeCycle > now))
+            return false;
+    }
+    return true;
+}
+
+bool
+OooCore::funcExecute(const isa::Instruction &inst, DynInst &d)
+{
+    using isa::Opcode;
+    ThreadContext &t = *ctx_;
+    const std::int64_t a = t.readInt(inst.rs1);
+    const std::int64_t b = t.readInt(inst.rs2);
+    const double fa = t.fpRegs[inst.rs1];
+    const double fbv = t.fpRegs[inst.rs2];
+    std::uint32_t next_pc = t.pc + 1;
+
+    switch (inst.op) {
+      case Opcode::ADD: t.writeInt(inst.rd, a + b); break;
+      case Opcode::SUB: t.writeInt(inst.rd, a - b); break;
+      case Opcode::AND: t.writeInt(inst.rd, a & b); break;
+      case Opcode::OR:  t.writeInt(inst.rd, a | b); break;
+      case Opcode::XOR: t.writeInt(inst.rd, a ^ b); break;
+      case Opcode::SLL:
+        t.writeInt(inst.rd, static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) << (b & 63)));
+        break;
+      case Opcode::SRL:
+        t.writeInt(inst.rd, static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) >> (b & 63)));
+        break;
+      case Opcode::SRA: t.writeInt(inst.rd, a >> (b & 63)); break;
+      case Opcode::SLT: t.writeInt(inst.rd, a < b ? 1 : 0); break;
+      case Opcode::SLTU:
+        t.writeInt(inst.rd, static_cast<std::uint64_t>(a) <
+                            static_cast<std::uint64_t>(b) ? 1 : 0);
+        break;
+      case Opcode::MIN: t.writeInt(inst.rd, std::min(a, b)); break;
+      case Opcode::MAX: t.writeInt(inst.rd, std::max(a, b)); break;
+      case Opcode::MUL: t.writeInt(inst.rd, a * b); break;
+      case Opcode::DIV:
+        t.writeInt(inst.rd, b == 0 ? -1 : a / b);
+        break;
+      case Opcode::REM:
+        t.writeInt(inst.rd, b == 0 ? a : a % b);
+        break;
+      case Opcode::ADDI: t.writeInt(inst.rd, a + inst.imm); break;
+      case Opcode::ANDI: t.writeInt(inst.rd, a & inst.imm); break;
+      case Opcode::ORI:  t.writeInt(inst.rd, a | inst.imm); break;
+      case Opcode::XORI: t.writeInt(inst.rd, a ^ inst.imm); break;
+      case Opcode::SLLI:
+        t.writeInt(inst.rd, static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) << (inst.imm & 63)));
+        break;
+      case Opcode::SRLI:
+        t.writeInt(inst.rd, static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) >> (inst.imm & 63)));
+        break;
+      case Opcode::SRAI: t.writeInt(inst.rd, a >> (inst.imm & 63));
+        break;
+      case Opcode::SLTI: t.writeInt(inst.rd, a < inst.imm ? 1 : 0);
+        break;
+      case Opcode::LI: t.writeInt(inst.rd, inst.imm); break;
+      case Opcode::FADD: t.fpRegs[inst.rd] = fa + fbv; break;
+      case Opcode::FSUB: t.fpRegs[inst.rd] = fa - fbv; break;
+      case Opcode::FMUL: t.fpRegs[inst.rd] = fa * fbv; break;
+      case Opcode::FDIV: t.fpRegs[inst.rd] = fa / fbv; break;
+      case Opcode::FMIN: t.fpRegs[inst.rd] = std::min(fa, fbv); break;
+      case Opcode::FMAX: t.fpRegs[inst.rd] = std::max(fa, fbv); break;
+      case Opcode::FLT: t.writeInt(inst.rd, fa < fbv ? 1 : 0); break;
+      case Opcode::FLE: t.writeInt(inst.rd, fa <= fbv ? 1 : 0); break;
+      case Opcode::FCVT_I2F:
+        t.fpRegs[inst.rd] = static_cast<double>(a);
+        break;
+      case Opcode::FCVT_F2I:
+        t.writeInt(inst.rd, static_cast<std::int64_t>(fa));
+        break;
+      case Opcode::FMV: t.fpRegs[inst.rd] = fa; break;
+
+      case Opcode::LD:
+        d.memAddr = static_cast<Addr>(a + inst.imm);
+        d.memLen = 8;
+        t.writeInt(inst.rd, image_->readI64(d.memAddr));
+        break;
+      case Opcode::LW:
+        d.memAddr = static_cast<Addr>(a + inst.imm);
+        d.memLen = 4;
+        t.writeInt(inst.rd, image_->readI32(d.memAddr));
+        break;
+      case Opcode::LBU:
+        d.memAddr = static_cast<Addr>(a + inst.imm);
+        d.memLen = 1;
+        t.writeInt(inst.rd, image_->readU8(d.memAddr));
+        break;
+      case Opcode::FLD:
+        d.memAddr = static_cast<Addr>(a + inst.imm);
+        d.memLen = 8;
+        t.fpRegs[inst.rd] = image_->readF64(d.memAddr);
+        break;
+      case Opcode::SD:
+        d.memAddr = static_cast<Addr>(a + inst.imm);
+        d.memLen = 8;
+        d.storeValue = b;
+        image_->writeI64(d.memAddr, b);
+        break;
+      case Opcode::SW:
+        d.memAddr = static_cast<Addr>(a + inst.imm);
+        d.memLen = 4;
+        d.storeValue = b;
+        image_->writeI32(d.memAddr, static_cast<std::int32_t>(b));
+        break;
+      case Opcode::SB:
+        d.memAddr = static_cast<Addr>(a + inst.imm);
+        d.memLen = 1;
+        d.storeValue = b;
+        image_->writeU8(d.memAddr, static_cast<std::uint8_t>(b));
+        break;
+      case Opcode::FSD:
+        d.memAddr = static_cast<Addr>(a + inst.imm);
+        d.memLen = 8;
+        image_->writeF64(d.memAddr, fbv);
+        break;
+      case Opcode::AMOADD: {
+        d.memAddr = static_cast<Addr>(a);
+        d.memLen = 8;
+        std::int64_t old = image_->readI64(d.memAddr);
+        image_->writeI64(d.memAddr, old + b);
+        t.writeInt(inst.rd, old);
+        break;
+      }
+      case Opcode::AMOSWAP: {
+        d.memAddr = static_cast<Addr>(a);
+        d.memLen = 8;
+        std::int64_t old = image_->readI64(d.memAddr);
+        image_->writeI64(d.memAddr, b);
+        t.writeInt(inst.rd, old);
+        break;
+      }
+      case Opcode::FENCE:
+      case Opcode::NOP:
+        break;
+
+      case Opcode::BEQ:
+        if (a == b) next_pc = inst.target;
+        break;
+      case Opcode::BNE:
+        if (a != b) next_pc = inst.target;
+        break;
+      case Opcode::BLT:
+        if (a < b) next_pc = inst.target;
+        break;
+      case Opcode::BGE:
+        if (a >= b) next_pc = inst.target;
+        break;
+      case Opcode::BLTU:
+        if (static_cast<std::uint64_t>(a) <
+            static_cast<std::uint64_t>(b))
+            next_pc = inst.target;
+        break;
+      case Opcode::BGEU:
+        if (static_cast<std::uint64_t>(a) >=
+            static_cast<std::uint64_t>(b))
+            next_pc = inst.target;
+        break;
+      case Opcode::J:
+        next_pc = inst.target;
+        break;
+
+      case Opcode::SPL_CFG:
+        break;
+      case Opcode::SPL_LOAD:
+        REMAP_ASSERT(spl_, "spl_load on a core without a fabric");
+        d.splLoadValue = b;
+        spl_->funcLoad(splSlot_,
+                       static_cast<unsigned>(inst.imm),
+                       static_cast<std::int32_t>(b));
+        break;
+      case Opcode::SPL_LOADM: {
+        REMAP_ASSERT(spl_, "spl_loadm on a core without a fabric");
+        d.memAddr = static_cast<Addr>(a + inst.imm);
+        d.memLen = 4;
+        d.splLoadValue = image_->readI32(d.memAddr);
+        spl_->funcLoad(splSlot_,
+                       static_cast<unsigned>(inst.imm2),
+                       static_cast<std::int32_t>(d.splLoadValue));
+        break;
+      }
+      case Opcode::SPL_LOADMB: {
+        REMAP_ASSERT(spl_, "spl_loadmb on a core without a fabric");
+        d.memAddr = static_cast<Addr>(a + inst.imm);
+        d.memLen = 1;
+        d.splLoadValue = image_->readU8(d.memAddr);
+        spl_->funcLoad(splSlot_,
+                       static_cast<unsigned>(inst.imm2),
+                       static_cast<std::int32_t>(d.splLoadValue));
+        break;
+      }
+      case Opcode::SPL_STOREM: {
+        REMAP_ASSERT(spl_, "spl_storem on a core without a fabric");
+        auto v = spl_->funcPop(splSlot_);
+        if (!v)
+            return false; // stall fetch until a value is produced
+        d.splValue = *v;
+        d.memAddr = static_cast<Addr>(a + inst.imm);
+        d.memLen = 4;
+        d.storeValue = *v;
+        image_->writeI32(d.memAddr, *v);
+        break;
+      }
+      case Opcode::SPL_INIT:
+        REMAP_ASSERT(spl_, "spl_init on a core without a fabric");
+        spl_->funcInit(splSlot_,
+                       static_cast<ConfigId>(inst.imm), inst.imm2);
+        break;
+      case Opcode::SPL_BAR:
+        REMAP_ASSERT(spl_, "spl_bar on a core without a fabric");
+        spl_->funcBar(splSlot_, static_cast<ConfigId>(inst.imm),
+                      static_cast<std::uint32_t>(inst.imm2));
+        break;
+      case Opcode::SPL_STORE: {
+        REMAP_ASSERT(spl_, "spl_store on a core without a fabric");
+        auto v = spl_->funcPop(splSlot_);
+        if (!v)
+            return false; // stall fetch until a value is produced
+        d.splValue = *v;
+        t.writeInt(inst.rd, static_cast<std::int64_t>(*v));
+        break;
+      }
+      case Opcode::HALT:
+        break;
+    }
+    t.pc = next_pc;
+    return true;
+}
+
+void
+OooCore::unbindThread()
+{
+    REMAP_ASSERT(drained(), "unbinding a thread mid-flight");
+    ctx_ = nullptr;
+    draining_ = false;
+    fetchHalted_ = true;
+}
+
+void
+OooCore::fetch(Cycle now)
+{
+    if (!ctx_ || fetchHalted_ || draining_)
+        return;
+    if (fetchBlockedOnSeq_ != 0 || now < fetchResumeCycle_) {
+        ++fetchStallCycles;
+        return;
+    }
+
+    const std::uint64_t base = codeBase(ctx_->id);
+    Cycle icache_ready = 0;
+    bool accessed_icache = false;
+
+    for (unsigned n = 0; n < params_.fetchWidth; ++n) {
+        if (fb_.size() >= params_.fetchBufferEntries)
+            break;
+        REMAP_ASSERT(ctx_->pc < ctx_->program->code.size(),
+                     "pc fell off the end of program '%s'",
+                     ctx_->program->name.c_str());
+        const isa::Instruction &inst = ctx_->program->code[ctx_->pc];
+
+        DynInst d;
+        d.si = &inst;
+        d.pcAddr = base + std::uint64_t(ctx_->pc) * 8;
+        d.usesFpQueue = usesFpQueue(inst.opClass());
+
+        if (!accessed_icache) {
+            icache_ready =
+                mem_->access(id_, d.pcAddr, mem::AccessKind::IFetch,
+                             now);
+            accessed_icache = true;
+        }
+
+        const std::uint32_t prev_pc = ctx_->pc;
+        if (!funcExecute(inst, d)) {
+            ++splFetchStalls;
+            break;
+        }
+        d.seq = nextSeq_++;
+        d.fbReady = std::max(icache_ready, now + 1);
+        ++fetchedInsts;
+        fb_.push_back(d);
+
+        if (inst.isBranch()) {
+            const bool taken = (ctx_->pc != prev_pc + 1);
+            const std::uint64_t target =
+                base + std::uint64_t(ctx_->pc) * 8;
+            bool btb_hit = false;
+            const bool pred = bpred_.predict(d.pcAddr, &btb_hit);
+            bpred_.update(d.pcAddr, taken, target);
+            if (!inst.isJump() && pred != taken) {
+                fb_.back().mispredicted = true;
+                ++mispredicts;
+                fetchBlockedOnSeq_ = d.seq;
+                break;
+            }
+            if (taken) {
+                if (!btb_hit)
+                    fetchResumeCycle_ = now + params_.btbMissPenalty;
+                break; // a taken branch ends the fetch group
+            }
+        }
+        if (inst.op == isa::Opcode::HALT) {
+            fetchHalted_ = true;
+            break;
+        }
+    }
+}
+
+void
+OooCore::dispatch(Cycle now)
+{
+    for (unsigned n = 0; n < params_.renameWidth && !fb_.empty();
+         ++n) {
+        DynInst &d = fb_.front();
+        if (d.fbReady > now)
+            break;
+        if (rob_.size() >= params_.robEntries) {
+            ++robFullStalls;
+            break;
+        }
+        const isa::OpClass cls = d.si->opClass();
+        unsigned &queue_occ =
+            d.usesFpQueue ? fpQueueOcc_ : intQueueOcc_;
+        const unsigned queue_cap = d.usesFpQueue
+                                       ? params_.fpQueueEntries
+                                       : params_.intQueueEntries;
+        if (queue_occ >= queue_cap) {
+            ++iqFullStalls;
+            break;
+        }
+        const bool is_load = cls == isa::OpClass::Load ||
+                             cls == isa::OpClass::Amo ||
+                             cls == isa::OpClass::SplLoadMem;
+        const bool is_store = cls == isa::OpClass::Store ||
+                              cls == isa::OpClass::SplStoreMem;
+        if (is_load && loadQueueOcc_ >= params_.loadQueueEntries) {
+            ++lsqFullStalls;
+            break;
+        }
+        if (is_store && storeQueueOcc_ >= params_.storeQueueEntries) {
+            ++lsqFullStalls;
+            break;
+        }
+
+        // Rename: look up producers, then publish this instruction.
+        d.dep1 = 0;
+        d.dep2 = 0;
+        if (d.si->readsIntRs1())
+            d.dep1 = producerOf(false, d.si->rs1);
+        else if (d.si->readsFpRs1())
+            d.dep1 = producerOf(true, d.si->rs1);
+        if (d.si->readsIntRs2())
+            d.dep2 = producerOf(false, d.si->rs2);
+        else if (d.si->readsFpRs2())
+            d.dep2 = producerOf(true, d.si->rs2);
+
+        d.stage = Stage::Dispatched;
+        ++queue_occ;
+        if (is_load)
+            ++loadQueueOcc_;
+        if (is_store)
+            ++storeQueueOcc_;
+        rob_.push_back(d);
+        recordProducer(rob_.back());
+        fb_.pop_front();
+    }
+}
+
+void
+OooCore::issue(Cycle now)
+{
+    unsigned issued = 0;
+    unsigned int_alus = params_.intAlus;
+    unsigned fp_alus = params_.fpAlus;
+    unsigned branch_units = params_.branchUnits;
+    unsigned ldst_units = params_.ldStUnits;
+    bool saw_unissued_spl_store = false;
+    bool saw_older_store_or_fence = false;
+
+    for (DynInst &d : rob_) {
+        if (issued >= params_.issueWidth)
+            break;
+        const isa::OpClass cls = d.si->opClass();
+        const bool is_store_like =
+            cls == isa::OpClass::Store || cls == isa::OpClass::Amo ||
+            cls == isa::OpClass::Fence ||
+            cls == isa::OpClass::SplStoreMem;
+
+        const bool is_spl_pop = cls == isa::OpClass::SplStore ||
+                                cls == isa::OpClass::SplStoreMem;
+
+        if (d.stage != Stage::Dispatched) {
+            if (is_store_like && d.stage != Stage::Completed)
+                saw_older_store_or_fence = true;
+            if (is_spl_pop && d.stage == Stage::Dispatched)
+                saw_unissued_spl_store = true;
+            continue;
+        }
+
+        if (!operandsReady(d, now)) {
+            if (is_store_like)
+                saw_older_store_or_fence = true;
+            if (is_spl_pop)
+                saw_unissued_spl_store = true;
+            continue;
+        }
+
+        Cycle complete = 0;
+        bool can_issue = true;
+        switch (cls) {
+          case isa::OpClass::IntAlu:
+          case isa::OpClass::SplLoad:
+          case isa::OpClass::SplInit:
+          case isa::OpClass::SplCfg:
+          case isa::OpClass::Halt:
+            if (int_alus == 0) { can_issue = false; break; }
+            --int_alus;
+            complete = now + opLatency(cls);
+            break;
+          case isa::OpClass::IntMult:
+            if (int_alus == 0) { can_issue = false; break; }
+            --int_alus;
+            complete = now + opLatency(cls);
+            break;
+          case isa::OpClass::IntDiv:
+            if (int_alus == 0 || divBusyUntil_ > now) {
+                can_issue = false;
+                break;
+            }
+            --int_alus;
+            complete = now + opLatency(cls);
+            divBusyUntil_ = complete;
+            break;
+          case isa::OpClass::FpAlu:
+          case isa::OpClass::FpMult:
+            if (fp_alus == 0) { can_issue = false; break; }
+            --fp_alus;
+            complete = now + opLatency(cls);
+            break;
+          case isa::OpClass::FpDiv:
+            if (fp_alus == 0 || fpDivBusyUntil_ > now) {
+                can_issue = false;
+                break;
+            }
+            --fp_alus;
+            complete = now + opLatency(cls);
+            fpDivBusyUntil_ = complete;
+            break;
+          case isa::OpClass::Branch:
+            if (branch_units == 0) { can_issue = false; break; }
+            --branch_units;
+            complete = now + opLatency(cls);
+            break;
+          case isa::OpClass::Store:
+          case isa::OpClass::Fence:
+            if (ldst_units == 0) { can_issue = false; break; }
+            --ldst_units;
+            complete = now + opLatency(cls);
+            break;
+          case isa::OpClass::Load:
+          case isa::OpClass::SplLoadMem: {
+            if (ldst_units == 0) { can_issue = false; break; }
+            // Store-to-load: check older overlapping stores.
+            bool forwarded = false;
+            bool blocked = false;
+            for (const DynInst &s : rob_) {
+                if (s.seq >= d.seq)
+                    break;
+                if (!s.si->isStore())
+                    continue;
+                const bool overlap =
+                    s.memAddr < d.memAddr + d.memLen &&
+                    d.memAddr < s.memAddr + s.memLen;
+                if (!overlap)
+                    continue;
+                if (s.stage == Stage::Completed &&
+                    s.completeCycle <= now) {
+                    forwarded = true; // forward from the store queue
+                } else {
+                    blocked = true;   // data not ready yet
+                    break;
+                }
+            }
+            if (blocked) { can_issue = false; break; }
+            --ldst_units;
+            if (forwarded)
+                complete = now + 2;
+            else
+                complete = mem_->access(id_, d.memAddr,
+                                        mem::AccessKind::Read, now);
+            break;
+          }
+          case isa::OpClass::Amo:
+            // Atomics issue non-speculatively: wait for every older
+            // store/fence to complete first.
+            if (ldst_units == 0 || saw_older_store_or_fence) {
+                can_issue = false;
+                break;
+            }
+            --ldst_units;
+            complete = mem_->access(id_, d.memAddr,
+                                    mem::AccessKind::Amo, now);
+            break;
+          case isa::OpClass::SplStore:
+          case isa::OpClass::SplStoreMem: {
+            if (ldst_units == 0 || saw_unissued_spl_store) {
+                can_issue = false;
+                break;
+            }
+            if (!spl_->outputReady(splSlot_, now)) {
+                can_issue = false;
+                saw_unissued_spl_store = true;
+                break;
+            }
+            --ldst_units;
+            const std::int32_t timed = spl_->popOutput(splSlot_);
+            REMAP_ASSERT(timed == d.splValue,
+                         "timed/functional SPL value mismatch "
+                         "(%d vs %d)", timed, d.splValue);
+            complete = now + opLatency(cls);
+            break;
+          }
+        }
+
+        if (is_store_like && d.stage != Stage::Completed)
+            saw_older_store_or_fence = true;
+        if (!can_issue)
+            continue;
+
+        d.stage = Stage::Issued;
+        d.completeCycle = complete;
+        if (d.usesFpQueue)
+            --fpQueueOcc_;
+        else
+            --intQueueOcc_;
+        ++issued;
+    }
+}
+
+void
+OooCore::writeback(Cycle now)
+{
+    for (DynInst &d : rob_) {
+        if (d.stage == Stage::Issued && d.completeCycle <= now) {
+            d.stage = Stage::Completed;
+            if (d.seq == fetchBlockedOnSeq_) {
+                fetchBlockedOnSeq_ = 0;
+                fetchResumeCycle_ = std::max(
+                    fetchResumeCycle_,
+                    d.completeCycle + params_.redirectPenalty);
+            }
+        }
+    }
+}
+
+void
+OooCore::commit(Cycle now)
+{
+    for (unsigned n = 0; n < params_.retireWidth && !rob_.empty();
+         ++n) {
+        DynInst &d = rob_.front();
+        if (d.stage != Stage::Completed || d.completeCycle > now)
+            break;
+        const isa::OpClass cls = d.si->opClass();
+
+        switch (cls) {
+          case isa::OpClass::Store: {
+            Cycle wb = mem_->access(id_, d.memAddr,
+                                    mem::AccessKind::Write, now);
+            storeBufferDrainCycle_ =
+                std::max(storeBufferDrainCycle_, wb);
+            --storeQueueOcc_;
+            ++committedStores;
+            break;
+          }
+          case isa::OpClass::Fence:
+            if (storeBufferDrainCycle_ > now)
+                goto commit_stalled;
+            ++committedIntOps;
+            break;
+          case isa::OpClass::Load:
+            --loadQueueOcc_;
+            ++committedLoads;
+            break;
+          case isa::OpClass::Amo:
+            --loadQueueOcc_;
+            ++committedLoads;
+            ++committedStores;
+            break;
+          case isa::OpClass::SplLoad:
+            if (!spl_->canLoad(splSlot_)) {
+                ++splCommitStalls;
+                goto commit_stalled;
+            }
+            spl_->load(splSlot_,
+                       static_cast<unsigned>(d.si->imm),
+                       static_cast<std::int32_t>(d.splLoadValue));
+            ++committedSplOps;
+            break;
+          case isa::OpClass::SplLoadMem:
+            if (!spl_->canLoad(splSlot_)) {
+                ++splCommitStalls;
+                goto commit_stalled;
+            }
+            spl_->load(splSlot_,
+                       static_cast<unsigned>(d.si->imm2),
+                       static_cast<std::int32_t>(d.splLoadValue));
+            --loadQueueOcc_;
+            ++committedSplOps;
+            ++committedLoads;
+            break;
+          case isa::OpClass::SplStoreMem: {
+            Cycle wb = mem_->access(id_, d.memAddr,
+                                    mem::AccessKind::Write, now);
+            storeBufferDrainCycle_ =
+                std::max(storeBufferDrainCycle_, wb);
+            --storeQueueOcc_;
+            ++committedSplOps;
+            ++committedStores;
+            break;
+          }
+          case isa::OpClass::SplInit:
+            if (d.si->op == isa::Opcode::SPL_BAR) {
+                if (!spl_->canBar(splSlot_)) {
+                    ++splCommitStalls;
+                    goto commit_stalled;
+                }
+                spl_->bar(splSlot_,
+                          static_cast<ConfigId>(d.si->imm),
+                          static_cast<std::uint32_t>(d.si->imm2),
+                          now);
+            } else {
+                if (!spl_->canInit(splSlot_, d.si->imm2)) {
+                    ++splCommitStalls;
+                    goto commit_stalled;
+                }
+                spl_->init(splSlot_,
+                           static_cast<ConfigId>(d.si->imm),
+                           d.si->imm2, now);
+            }
+            ++committedSplOps;
+            break;
+          case isa::OpClass::SplStore:
+          case isa::OpClass::SplCfg:
+            ++committedSplOps;
+            break;
+          case isa::OpClass::Branch:
+            ++committedBranches;
+            break;
+          case isa::OpClass::FpAlu:
+          case isa::OpClass::FpMult:
+          case isa::OpClass::FpDiv:
+            ++committedFpOps;
+            break;
+          case isa::OpClass::Halt:
+            ctx_->halted = true;
+            ++committedIntOps;
+            break;
+          default:
+            ++committedIntOps;
+            break;
+        }
+
+        ++committedInsts;
+        if (trace_) {
+            *trace_ << now << " core" << id_ << " pc=0x" << std::hex
+                    << d.pcAddr << std::dec << ": "
+                    << isa::disassemble(*d.si) << '\n';
+        }
+        rob_.pop_front();
+    }
+  commit_stalled:;
+}
+
+void
+OooCore::tick(Cycle now)
+{
+    if (!ctx_)
+        return;
+    if (!done())
+        ++activeCycles;
+    commit(now);
+    writeback(now);
+    issue(now);
+    dispatch(now);
+    fetch(now);
+}
+
+void
+OooCore::dumpStats(std::ostream &os)
+{
+    statGroup_.dump(os);
+    os << statGroup_.name() << ".bpred_lookups "
+       << bpred_.lookups.value() << '\n';
+    os << statGroup_.name() << ".bpred_mispredicts "
+       << bpred_.mispredicts.value() << '\n';
+}
+
+void
+OooCore::resetStats()
+{
+    statGroup_.reset();
+    bpred_.lookups.reset();
+    bpred_.mispredicts.reset();
+    bpred_.btbMisses.reset();
+}
+
+} // namespace remap::cpu

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * OooCore — a structure-constrained out-of-order core model.
+ *
+ * Functional-first ("execute-at-fetch") organization, the standard
+ * technique of SESC/SimpleScalar-class simulators: instructions are
+ * executed functionally, in program order, when fetched, so every
+ * value, branch outcome and memory address is known up front; the
+ * pipeline model then determines *when* everything happens, bounded
+ * by the Table II structures:
+ *
+ *  - fetch/decode/rename width, issue/retire width,
+ *  - 64-entry ROB, 32/16-entry int/FP issue queues,
+ *  - FU counts (int ALU, FP ALU, branch, load/store) and latencies,
+ *  - gshare+bimodal hybrid predictor with 512 B BTB — a mispredicted
+ *    branch stalls fetch until it resolves plus a redirect penalty,
+ *  - loads through the LSQ with store-to-load forwarding; stores and
+ *    atomics access the timed MESI hierarchy,
+ *  - the SPL extension: spl_load/init/bar act on the fabric at commit
+ *    (with queue-full / destination-absent stalls), spl_store waits
+ *    in the window until the fabric's timed output queue has data.
+ *
+ * Because fetch never follows a wrong path, there is no squash logic;
+ * misprediction cost appears as fetch-stall cycles, which is the
+ * first-order effect the paper's analysis relies on (Section V-B.1
+ * discusses misprediction-rate changes between variants).
+ */
+
+#ifndef REMAP_CPU_CORE_HH
+#define REMAP_CPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "cpu/bpred.hh"
+#include "cpu/thread.hh"
+#include "isa/isa.hh"
+#include "mem/mem_system.hh"
+#include "mem/memory_image.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "spl/fabric.hh"
+
+namespace remap::cpu
+{
+
+/** Core pipeline parameters (Table II). */
+struct CoreParams
+{
+    std::string name = "ooo1";
+    unsigned fetchWidth = 2;
+    unsigned renameWidth = 2;  ///< decode/rename/dispatch width
+    unsigned issueWidth = 1;
+    unsigned retireWidth = 1;
+    unsigned robEntries = 64;
+    unsigned intQueueEntries = 32;
+    unsigned fpQueueEntries = 16;
+    unsigned loadQueueEntries = 16;
+    unsigned storeQueueEntries = 16;
+    unsigned fetchBufferEntries = 8;
+    unsigned intAlus = 1;
+    unsigned fpAlus = 1;
+    unsigned branchUnits = 1;
+    unsigned ldStUnits = 1;
+    /** Extra fetch-redirect cycles after a mispredict resolves. */
+    Cycle redirectPenalty = 3;
+    /** Front-end bubble for a taken branch missing in the BTB. */
+    Cycle btbMissPenalty = 2;
+    BPredParams bpred{};
+
+    /** Single-issue OOO1 configuration (Table II, left column). */
+    static CoreParams ooo1();
+    /** Dual-issue OOO2 configuration (Table II, right column). */
+    static CoreParams ooo2();
+};
+
+/** One core of the simulated CMP. */
+class OooCore
+{
+  public:
+    /**
+     * @param id global core id (indexes the MemSystem)
+     * @param params pipeline configuration
+     * @param mem timing memory hierarchy (not owned)
+     * @param image functional memory (not owned)
+     */
+    OooCore(CoreId id, const CoreParams &params, mem::MemSystem *mem,
+            mem::MemoryImage *image);
+
+    /** Attach this core to its cluster fabric as local slot
+     *  @p local_slot. Cores without SPL leave this unset. */
+    void attachSpl(spl::SplFabric *fabric, unsigned local_slot);
+
+    /** Bind @p ctx to run on this core (pipeline must be drained). */
+    void bindThread(ThreadContext *ctx);
+
+    /** The bound thread, or nullptr. */
+    ThreadContext *thread() { return ctx_; }
+
+    /** Stop fetching so the pipeline drains (migration support). */
+    void requestDrain() { draining_ = true; }
+    /** Resume fetching after an abandoned drain. */
+    void cancelDrain() { draining_ = false; }
+    /** True when no instructions remain in flight. */
+    bool
+    drained() const
+    {
+        return fb_.empty() && rob_.empty();
+    }
+    /** Detach the thread (must be drained); the core goes idle. */
+    void unbindThread();
+    /** Local SPL slot of this core (valid when a fabric is attached). */
+    unsigned splSlot() const { return splSlot_; }
+    /** Fabric this core is attached to, or nullptr. */
+    spl::SplFabric *splFabric() { return spl_; }
+
+    /** Advance one core cycle. */
+    void tick(Cycle now);
+
+    /** True when the thread has halted and the pipeline drained. */
+    bool done() const;
+
+    /** Global core id. */
+    CoreId id() const { return id_; }
+    /** Configuration. */
+    const CoreParams &params() const { return params_; }
+    /** The branch predictor (exposed for stats). */
+    BranchPredictor &bpred() { return bpred_; }
+
+    /** @{ @name Statistics (consumed by the power model/harness). */
+    StatCounter committedInsts;
+    StatCounter committedIntOps;
+    StatCounter committedFpOps;
+    StatCounter committedLoads;
+    StatCounter committedStores;
+    StatCounter committedBranches;
+    StatCounter committedSplOps;
+    StatCounter fetchedInsts;
+    StatCounter mispredicts;
+    StatCounter robFullStalls;
+    StatCounter iqFullStalls;
+    StatCounter lsqFullStalls;
+    StatCounter splCommitStalls;   ///< spl_init blocked at commit
+    StatCounter splFetchStalls;    ///< spl_store value not yet produced
+    StatCounter fetchStallCycles;  ///< cycles fetch was blocked
+    StatCounter activeCycles;      ///< cycles with a live thread
+    /** @} */
+
+    /** Dump core + predictor stats. */
+    void dumpStats(std::ostream &os);
+    /** Reset all statistics. */
+    void resetStats();
+
+    /**
+     * Stream committed instructions as text ("cycle core pc: disasm"
+     * per line) to @p os; pass nullptr to stop tracing. Intended for
+     * debugging kernels, not for measurement runs.
+     */
+    void setTraceStream(std::ostream *os) { trace_ = os; }
+
+  private:
+    enum class Stage : std::uint8_t
+    {
+        InBuffer,   ///< fetched, waiting for dispatch
+        Dispatched, ///< in the window, waiting for issue
+        Issued,     ///< executing
+        Completed,  ///< result available, awaiting commit
+    };
+
+    struct DynInst
+    {
+        const isa::Instruction *si = nullptr;
+        std::uint64_t seq = 0;
+        std::uint64_t pcAddr = 0;
+        Stage stage = Stage::InBuffer;
+        Cycle fbReady = 0;       ///< earliest dispatch cycle
+        Cycle completeCycle = 0;
+        std::uint64_t dep1 = 0;  ///< producer seq of source 1 (0=ready)
+        std::uint64_t dep2 = 0;  ///< producer seq of source 2
+        Addr memAddr = 0;
+        unsigned memLen = 0;
+        std::int64_t storeValue = 0;
+        std::int32_t splValue = 0;   ///< functional spl_store result
+        std::int64_t splLoadValue = 0; ///< word staged by spl_load
+        bool mispredicted = false;
+        bool usesFpQueue = false;
+    };
+
+    // Pipeline stages, processed commit-first each tick.
+    void commit(Cycle now);
+    void writeback(Cycle now);
+    void issue(Cycle now);
+    void dispatch(Cycle now);
+    void fetch(Cycle now);
+
+    /** Functionally execute @p inst; fills @p d; returns false when
+     *  fetch must stall (spl_store with no functional value yet). */
+    bool funcExecute(const isa::Instruction &inst, DynInst &d);
+
+    /** True when @p d's producers have completed by @p now. */
+    bool operandsReady(const DynInst &d, Cycle now) const;
+    /** Find an in-flight instruction by sequence number. */
+    const DynInst *findBySeq(std::uint64_t seq) const;
+
+    /** Record @p d as the latest producer of its destination. */
+    void recordProducer(const DynInst &d);
+    /** Producer seq for a source register, 0 when ready. */
+    std::uint64_t producerOf(bool fp, isa::RegIndex r) const;
+
+    CoreId id_;
+    CoreParams params_;
+    mem::MemSystem *mem_;
+    mem::MemoryImage *image_;
+    spl::SplFabric *spl_ = nullptr;
+    unsigned splSlot_ = 0;
+    BranchPredictor bpred_;
+    ThreadContext *ctx_ = nullptr;
+
+    std::deque<DynInst> fb_;   ///< fetch buffer
+    std::deque<DynInst> rob_;  ///< reorder buffer (window)
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t intProducer_[isa::numIntRegs] = {};
+    std::uint64_t fpProducer_[isa::numFpRegs] = {};
+
+    unsigned intQueueOcc_ = 0;
+    unsigned fpQueueOcc_ = 0;
+    unsigned loadQueueOcc_ = 0;
+    unsigned storeQueueOcc_ = 0;
+
+    Cycle fetchResumeCycle_ = 0;
+    std::uint64_t fetchBlockedOnSeq_ = 0; ///< unresolved mispredict
+    bool fetchHalted_ = false;            ///< HALT fetched
+    bool draining_ = false;               ///< migration drain request
+    Cycle divBusyUntil_ = 0;
+    Cycle fpDivBusyUntil_ = 0;
+    Cycle storeBufferDrainCycle_ = 0;
+    std::ostream *trace_ = nullptr;
+
+    StatGroup statGroup_;
+};
+
+} // namespace remap::cpu
+
+#endif // REMAP_CPU_CORE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ThreadContext — the architectural state of one software thread:
+ * program, PC, integer and FP register files, plus identity used by
+ * the SPL thread-to-core and barrier tables.
+ */
+
+#ifndef REMAP_CPU_THREAD_HH
+#define REMAP_CPU_THREAD_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.hh"
+#include "sim/types.hh"
+
+namespace remap::cpu
+{
+
+/** Architectural state of one thread. */
+struct ThreadContext
+{
+    ThreadId id = 0;
+    AppId app = 0;
+    const isa::Program *program = nullptr;
+    std::uint32_t pc = 0;
+    bool halted = false;
+
+    /** Integer register file; x0 must stay zero. */
+    std::array<std::int64_t, isa::numIntRegs> intRegs{};
+    /** FP register file (doubles). */
+    std::array<double, isa::numFpRegs> fpRegs{};
+
+    /** Read integer register (x0 reads zero). */
+    std::int64_t
+    readInt(isa::RegIndex r) const
+    {
+        return r == 0 ? 0 : intRegs[r];
+    }
+
+    /** Write integer register (writes to x0 are dropped). */
+    void
+    writeInt(isa::RegIndex r, std::int64_t v)
+    {
+        if (r != 0)
+            intRegs[r] = v;
+    }
+
+    /** Reset to the start of @p prog with clean registers. */
+    void
+    reset(const isa::Program *prog)
+    {
+        program = prog;
+        pc = 0;
+        halted = false;
+        intRegs.fill(0);
+        fpRegs.fill(0.0);
+    }
+};
+
+} // namespace remap::cpu
+
+#endif // REMAP_CPU_THREAD_HH

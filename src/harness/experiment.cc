@@ -1,0 +1,202 @@
+#include "harness/experiment.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace remap::harness
+{
+
+using workloads::Mode;
+using workloads::RunSpec;
+using workloads::Variant;
+
+RegionResult
+runRegion(const workloads::WorkloadInfo &info, const RunSpec &spec,
+          const power::EnergyModel &model)
+{
+    workloads::PreparedRun run = info.make(spec);
+    sys::RunResult rr = run.run();
+    if (run.verify && !run.verify())
+        REMAP_FATAL("workload '%s' (%s) failed golden verification",
+                    info.name.c_str(),
+                    workloads::variantName(spec.variant));
+    RegionResult res;
+    res.cycles = rr.cycles;
+    const unsigned copies = std::max(1u, spec.copies);
+    res.energyJ =
+        run.system->measureEnergy(model, rr.cycles,
+                                  /*include_idle_cores=*/false)
+            .totalJ() /
+        copies;
+    res.work = run.workUnits / copies;
+    return res;
+}
+
+VariantResults
+runVariantSet(const workloads::WorkloadInfo &info,
+              const power::EnergyModel &model, bool include_swqueue,
+              unsigned compute_copies)
+{
+    VariantResults out;
+    RunSpec spec;
+
+    spec.variant = Variant::Seq;
+    out[Variant::Seq] = runRegion(info, spec, model);
+    spec.variant = Variant::SeqOoo2;
+    out[Variant::SeqOoo2] = runRegion(info, spec, model);
+
+    spec.variant = Variant::Comp;
+    if (info.mode == Mode::ComputeOnly)
+        spec.copies = compute_copies;
+    out[Variant::Comp] = runRegion(info, spec, model);
+    spec.copies = 1;
+
+    if (info.mode == Mode::CommComp) {
+        for (Variant v : {Variant::Comm, Variant::CompComm,
+                          Variant::Ooo2Comm}) {
+            spec.variant = v;
+            out[v] = runRegion(info, spec, model);
+        }
+        if (include_swqueue) {
+            spec.variant = Variant::SwQueue;
+            out[Variant::SwQueue] = runRegion(info, spec, model);
+        }
+    }
+    return out;
+}
+
+WholeProgramRow
+composeWholeProgram(const workloads::WorkloadInfo &info,
+                    const VariantResults &results,
+                    const power::EnergyModel &model)
+{
+    const ClockParams clocks = model.clockParams();
+    const RegionResult &seq = results.at(Variant::Seq);
+    const RegionResult &seq2 = results.at(Variant::SeqOoo2);
+    const Variant best_remap = info.mode == Mode::CommComp
+                                   ? Variant::CompComm
+                                   : Variant::Comp;
+    const RegionResult &remap = results.at(best_remap);
+
+    // Baseline whole program on one OOO1 core.
+    const double region_base = static_cast<double>(seq.cycles);
+    const double t_base = region_base / info.execFraction;
+    const double rest_base = t_base - region_base;
+
+    // Non-region code runs on an OOO2 core in both alternatives; use
+    // the workload's own OOO2/OOO1 ratio as the scaling proxy.
+    const double ooo2_scale =
+        static_cast<double>(seq2.cycles) / seq.cycles;
+    const double rest_ooo2 = rest_base * ooo2_scale;
+
+    // Average power (W) proxies for the non-region phases.
+    const double p_ooo1 =
+        seq.energyJ / clocks.cyclesToSeconds(seq.cycles);
+    const double p_ooo2 =
+        seq2.energyJ / clocks.cyclesToSeconds(seq2.cycles);
+
+    // ReMAP: region on the SPL cluster + migration episodes (two
+    // 500-cycle context switches each, Section V-A).
+    const double migration = info.regionEpisodes * 2.0 * 500.0;
+    const double t_remap =
+        static_cast<double>(remap.cycles) + rest_ooo2 + migration;
+    const double e_remap = remap.energyJ +
+        p_ooo2 * clocks.cyclesToSeconds(
+                     static_cast<Cycle>(rest_ooo2 + migration));
+
+    // OOO2+Comm: region with the idealized comm hardware (or plain
+    // OOO2 execution for compute-only workloads) + the same rest.
+    double region_comm;
+    double e_region_comm;
+    if (info.mode == Mode::CommComp) {
+        const RegionResult &comm = results.at(Variant::Ooo2Comm);
+        region_comm = static_cast<double>(comm.cycles);
+        e_region_comm = comm.energyJ;
+    } else {
+        region_comm = static_cast<double>(seq2.cycles);
+        e_region_comm = seq2.energyJ;
+    }
+    const double t_comm = region_comm + rest_ooo2;
+    const double e_comm = e_region_comm +
+        p_ooo2 * clocks.cyclesToSeconds(
+                     static_cast<Cycle>(rest_ooo2));
+
+    const double e_base = seq.energyJ +
+        p_ooo1 * clocks.cyclesToSeconds(
+                     static_cast<Cycle>(rest_base));
+
+    WholeProgramRow row;
+    row.name = info.name;
+    row.remapSpeedup = t_base / t_remap;
+    row.ooo2commSpeedup = t_base / t_comm;
+    const double ed_base =
+        e_base * clocks.cyclesToSeconds(
+                     static_cast<Cycle>(t_base));
+    row.remapRelEd =
+        (e_remap * clocks.cyclesToSeconds(
+                       static_cast<Cycle>(t_remap))) /
+        ed_base;
+    row.ooo2commRelEd =
+        (e_comm * clocks.cyclesToSeconds(
+                      static_cast<Cycle>(t_comm))) /
+        ed_base;
+    return row;
+}
+
+std::vector<BarrierPoint>
+barrierSweep(const workloads::WorkloadInfo &info, Variant v,
+             unsigned threads, const std::vector<unsigned> &sizes,
+             const power::EnergyModel &model)
+{
+    std::vector<BarrierPoint> points;
+    for (unsigned size : sizes) {
+        RunSpec seq_spec;
+        seq_spec.variant = Variant::Seq;
+        seq_spec.problemSize = size;
+        RegionResult seq = runRegion(info, seq_spec, model);
+
+        RunSpec spec;
+        spec.variant = v;
+        spec.problemSize = size;
+        spec.threads = threads;
+        RegionResult res = (v == Variant::Seq)
+                               ? seq
+                               : runRegion(info, spec, model);
+
+        BarrierPoint p;
+        p.problemSize = size;
+        p.cyclesPerIter = res.cyclesPerUnit();
+        p.relEd = res.ed(model.clockParams()) /
+                  seq.ed(model.clockParams());
+        points.push_back(p);
+    }
+    return points;
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+TableOne
+computeTableOne(const power::EnergyModel &model)
+{
+    TableOne t;
+    const auto &area = model.areaParams();
+    t.relArea = (24.0 * area.splPerRow) / (4.0 * area.ooo1Core);
+    t.relPeakDyn =
+        model.splPeakDynamicW(24) /
+        (4.0 * model.corePeakDynamicW(/*is_ooo2=*/false));
+    t.relLeak = model.splLeakW(24) /
+                (4.0 * model.coreLeakW(/*is_ooo2=*/false));
+    return t;
+}
+
+} // namespace remap::harness

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Experiment drivers for the paper's tables and figures. Each bench
+ * binary composes these into the rows/series the paper reports.
+ */
+
+#ifndef REMAP_HARNESS_EXPERIMENT_HH
+#define REMAP_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "power/energy.hh"
+#include "workloads/workload.hh"
+
+namespace remap::harness
+{
+
+/** One measured region run. */
+struct RegionResult
+{
+    Cycle cycles = 0;     ///< wall-clock core cycles of the run
+    double energyJ = 0.0; ///< energy per program copy (J)
+    double work = 1.0;    ///< work units completed (per copy)
+
+    /** Cycles per work unit (Fig. 12's y-axis). */
+    double
+    cyclesPerUnit() const
+    {
+        return work > 0 ? static_cast<double>(cycles) / work : 0.0;
+    }
+
+    /** Energy x delay in J*s. */
+    double ed(const ClockParams &clocks = {}) const
+    {
+        return energyJ * clocks.cyclesToSeconds(cycles);
+    }
+};
+
+/**
+ * Run one region experiment: build, simulate, verify the golden
+ * output (REMAP_FATAL on mismatch), and measure energy. Energy is
+ * divided by RunSpec::copies so results are per program.
+ */
+RegionResult runRegion(const workloads::WorkloadInfo &info,
+                       const workloads::RunSpec &spec,
+                       const power::EnergyModel &model);
+
+/** Region results across all variants of one workload. */
+using VariantResults = std::map<workloads::Variant, RegionResult>;
+
+/**
+ * Run the Fig. 10/11 variant set for @p info: Seq, SeqOoo2 and
+ * 1Th+Comp for every workload; 2Th+Comm, 2Th+CompComm, OOO2+Comm
+ * (and SwQueue when @p include_swqueue) for communicating workloads.
+ * Compute-only 1Th+Comp runs @p compute_copies concurrent copies to
+ * model fabric contention (Section V-A).
+ */
+VariantResults runVariantSet(const workloads::WorkloadInfo &info,
+                             const power::EnergyModel &model,
+                             bool include_swqueue = false,
+                             unsigned compute_copies = 4);
+
+/** One Fig. 8/9 row: whole-program metrics vs. the OOO1 baseline. */
+struct WholeProgramRow
+{
+    std::string name;
+    double remapSpeedup = 1.0;    ///< ReMAP perf / baseline perf
+    double ooo2commSpeedup = 1.0; ///< OOO2+Comm perf / baseline perf
+    double remapRelEd = 1.0;      ///< ReMAP ED / baseline ED
+    double ooo2commRelEd = 1.0;   ///< OOO2+Comm ED / baseline ED
+};
+
+/**
+ * Compose whole-program numbers from region results via the paper's
+ * methodology (Section V-A): the optimized region is
+ * `info.execFraction` of baseline time; non-region code runs on an
+ * OOO2 core in both configurations; ReMAP pays two 500-cycle
+ * migrations per region episode.
+ */
+WholeProgramRow composeWholeProgram(const workloads::WorkloadInfo &info,
+                                    const VariantResults &results,
+                                    const power::EnergyModel &model);
+
+/** One point of a barrier-workload sweep (Figs. 12-14). */
+struct BarrierPoint
+{
+    unsigned problemSize = 0;
+    double cyclesPerIter = 0.0;
+    double relEd = 1.0; ///< ED relative to the sequential run
+};
+
+/**
+ * Sweep a barrier workload over @p sizes at @p threads for variant
+ * @p v; relEd is computed against a Seq run at each size.
+ */
+std::vector<BarrierPoint>
+barrierSweep(const workloads::WorkloadInfo &info, workloads::Variant v,
+             unsigned threads, const std::vector<unsigned> &sizes,
+             const power::EnergyModel &model);
+
+/** Geometric mean of a list of ratios. */
+double geomean(const std::vector<double> &v);
+
+/** The Table I model outputs (relative area and power). */
+struct TableOne
+{
+    double splRows = 24;
+    double relArea = 0.0;      ///< SPL area / 4-core area
+    double relPeakDyn = 0.0;   ///< SPL peak dyn / 4-core peak dyn
+    double relLeak = 0.0;      ///< SPL leakage / 4-core leakage
+};
+TableOne computeTableOne(const power::EnergyModel &model);
+
+} // namespace remap::harness
+
+#endif // REMAP_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,93 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace remap::harness
+{
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cols)
+{
+    REMAP_ASSERT(header_.empty() || cols.size() == header_.size(),
+                 "table row width mismatch");
+    rows_.push_back(std::move(cols));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            if (i >= widths.size())
+                widths.resize(i + 1, 0);
+            widths[i] = std::max(widths[i], r[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            os << r[i];
+            if (i + 1 < r.size())
+                os << std::string(widths[i] - r[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total > 2 ? total - 2 : total, '-')
+           << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            os << r[i];
+            if (i + 1 < r.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPct(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v * 100.0);
+    return buf;
+}
+
+} // namespace remap::harness

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal aligned-table and CSV printing for the benchmark harness.
+ */
+
+#ifndef REMAP_HARNESS_TABLE_HH
+#define REMAP_HARNESS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace remap::harness
+{
+
+/** A simple text table with aligned columns. */
+class Table
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cols);
+    /** Append a data row (must match the header width). */
+    void row(std::vector<std::string> cols);
+
+    /** Print with space-aligned columns. */
+    void print(std::ostream &os) const;
+    /** Print as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p v with @p decimals fraction digits. */
+std::string fmt(double v, int decimals = 2);
+/** Format @p v as a percentage ("42%" style, rounded). */
+std::string fmtPct(double v, int decimals = 0);
+
+} // namespace remap::harness
+
+#endif // REMAP_HARNESS_TABLE_HH

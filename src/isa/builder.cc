@@ -1,0 +1,211 @@
+#include "isa/builder.hh"
+
+#include "sim/logging.hh"
+
+namespace remap::isa
+{
+
+ProgramBuilder &
+ProgramBuilder::emit(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2,
+                     std::int64_t imm, std::int64_t imm2)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    inst.imm = imm;
+    inst.imm2 = imm2;
+    code_.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emitBranch(Opcode op, RegIndex rs1, RegIndex rs2,
+                           const std::string &l)
+{
+    fixups_.emplace_back(static_cast<std::uint32_t>(code_.size()), l);
+    return emit(op, 0, rs1, rs2);
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &l)
+{
+    auto [it, inserted] =
+        labels_.emplace(l, static_cast<std::uint32_t>(code_.size()));
+    if (!inserted)
+        REMAP_FATAL("duplicate label '%s' in program '%s'", l.c_str(),
+                    name_.c_str());
+    return *this;
+}
+
+#define RRR(fn, OP) \
+    ProgramBuilder &ProgramBuilder::fn(RegIndex rd, RegIndex rs1, \
+                                       RegIndex rs2) \
+    { return emit(Opcode::OP, rd, rs1, rs2); }
+
+RRR(add, ADD) RRR(sub, SUB) RRR(and_, AND) RRR(or_, OR) RRR(xor_, XOR)
+RRR(sll, SLL) RRR(srl, SRL) RRR(sra, SRA) RRR(slt, SLT) RRR(sltu, SLTU)
+RRR(min, MIN) RRR(max, MAX) RRR(mul, MUL) RRR(div, DIV) RRR(rem, REM)
+RRR(fadd, FADD) RRR(fsub, FSUB) RRR(fmul, FMUL) RRR(fdiv, FDIV)
+RRR(fmin, FMIN) RRR(fmax, FMAX) RRR(flt, FLT) RRR(fle, FLE)
+RRR(amoadd, AMOADD) RRR(amoswap, AMOSWAP)
+#undef RRR
+
+#define RRI(fn, OP) \
+    ProgramBuilder &ProgramBuilder::fn(RegIndex rd, RegIndex rs1, \
+                                       std::int64_t imm) \
+    { return emit(Opcode::OP, rd, rs1, 0, imm); }
+
+RRI(addi, ADDI) RRI(andi, ANDI) RRI(ori, ORI) RRI(xori, XORI)
+RRI(slli, SLLI) RRI(srli, SRLI) RRI(srai, SRAI) RRI(slti, SLTI)
+#undef RRI
+
+ProgramBuilder &
+ProgramBuilder::li(RegIndex rd, std::int64_t imm)
+{
+    return emit(Opcode::LI, rd, 0, 0, imm);
+}
+
+ProgramBuilder &
+ProgramBuilder::mv(RegIndex rd, RegIndex rs1)
+{
+    return emit(Opcode::ADDI, rd, rs1, 0, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit(Opcode::NOP, 0, 0, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::fcvtI2F(RegIndex rd, RegIndex rs1)
+{
+    return emit(Opcode::FCVT_I2F, rd, rs1, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::fcvtF2I(RegIndex rd, RegIndex rs1)
+{
+    return emit(Opcode::FCVT_F2I, rd, rs1, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::fmv(RegIndex rd, RegIndex rs1)
+{
+    return emit(Opcode::FMV, rd, rs1, 0);
+}
+
+#define LOADI(fn, OP) \
+    ProgramBuilder &ProgramBuilder::fn(RegIndex rd, RegIndex rs1, \
+                                       std::int64_t imm) \
+    { return emit(Opcode::OP, rd, rs1, 0, imm); }
+
+LOADI(ld, LD) LOADI(lw, LW) LOADI(lbu, LBU) LOADI(fld, FLD)
+#undef LOADI
+
+#define STOREI(fn, OP) \
+    ProgramBuilder &ProgramBuilder::fn(RegIndex rs2, RegIndex rs1, \
+                                       std::int64_t imm) \
+    { return emit(Opcode::OP, 0, rs1, rs2, imm); }
+
+STOREI(sd, SD) STOREI(sw, SW) STOREI(sb, SB) STOREI(fsd, FSD)
+#undef STOREI
+
+ProgramBuilder &
+ProgramBuilder::fence()
+{
+    return emit(Opcode::FENCE, 0, 0, 0);
+}
+
+#define BR(fn, OP) \
+    ProgramBuilder &ProgramBuilder::fn(RegIndex rs1, RegIndex rs2, \
+                                       const std::string &l) \
+    { return emitBranch(Opcode::OP, rs1, rs2, l); }
+
+BR(beq, BEQ) BR(bne, BNE) BR(blt, BLT) BR(bge, BGE) BR(bltu, BLTU)
+BR(bgeu, BGEU)
+#undef BR
+
+ProgramBuilder &
+ProgramBuilder::j(const std::string &l)
+{
+    return emitBranch(Opcode::J, 0, 0, l);
+}
+
+ProgramBuilder &
+ProgramBuilder::splCfg(std::int64_t cfg)
+{
+    return emit(Opcode::SPL_CFG, 0, 0, 0, cfg);
+}
+
+ProgramBuilder &
+ProgramBuilder::splLoad(RegIndex rs2, std::int64_t align,
+                        std::int64_t width)
+{
+    return emit(Opcode::SPL_LOAD, 0, 0, rs2, align, width);
+}
+
+ProgramBuilder &
+ProgramBuilder::splLoadM(RegIndex rs1, std::int64_t off,
+                         std::int64_t word_idx)
+{
+    return emit(Opcode::SPL_LOADM, 0, rs1, 0, off, word_idx);
+}
+
+ProgramBuilder &
+ProgramBuilder::splLoadMB(RegIndex rs1, std::int64_t off,
+                          std::int64_t word_idx)
+{
+    return emit(Opcode::SPL_LOADMB, 0, rs1, 0, off, word_idx);
+}
+
+ProgramBuilder &
+ProgramBuilder::splStoreM(RegIndex rs1, std::int64_t off)
+{
+    return emit(Opcode::SPL_STOREM, 0, rs1, 0, off, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::splInit(std::int64_t cfg, std::int64_t dest_thread)
+{
+    return emit(Opcode::SPL_INIT, 0, 0, 0, cfg, dest_thread);
+}
+
+ProgramBuilder &
+ProgramBuilder::splBar(std::int64_t cfg, std::int64_t barrier_id)
+{
+    return emit(Opcode::SPL_BAR, 0, 0, 0, cfg, barrier_id);
+}
+
+ProgramBuilder &
+ProgramBuilder::splStore(RegIndex rd, std::int64_t align,
+                         std::int64_t width)
+{
+    return emit(Opcode::SPL_STORE, rd, 0, 0, align, width);
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    return emit(Opcode::HALT, 0, 0, 0);
+}
+
+Program
+ProgramBuilder::build()
+{
+    for (const auto &[idx, l] : fixups_) {
+        auto it = labels_.find(l);
+        if (it == labels_.end())
+            REMAP_FATAL("undefined label '%s' in program '%s'",
+                        l.c_str(), name_.c_str());
+        code_[idx].target = it->second;
+    }
+    Program p;
+    p.name = name_;
+    p.code = std::move(code_);
+    return p;
+}
+
+} // namespace remap::isa

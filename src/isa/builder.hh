@@ -1,0 +1,171 @@
+/**
+ * @file
+ * ProgramBuilder — a fluent assembler for mini-ISA programs.
+ *
+ * Workload kernels are written against this DSL:
+ *
+ * @code
+ *   ProgramBuilder b("dot");
+ *   b.li(1, 0)                 // i = 0
+ *    .label("loop")
+ *    .ld(2, 10, 0)             // x2 = a[i]
+ *    .ld(3, 11, 0)             // x3 = b[i]
+ *    .mul(4, 2, 3)
+ *    .add(5, 5, 4)
+ *    .addi(10, 10, 8).addi(11, 11, 8).addi(1, 1, 1)
+ *    .blt(1, 6, "loop")
+ *    .halt();
+ *   Program p = b.build();
+ * @endcode
+ *
+ * Branch targets are labels; build() resolves them to instruction
+ * indices and fails loudly on unknown or duplicate labels.
+ */
+
+#ifndef REMAP_ISA_BUILDER_HH
+#define REMAP_ISA_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace remap::isa
+{
+
+/** Fluent assembler producing a resolved Program. */
+class ProgramBuilder
+{
+  public:
+    /** @param name program name for stats/diagnostics */
+    explicit ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+    /** Define a label at the current position. */
+    ProgramBuilder &label(const std::string &l);
+
+    // ----- integer register-register -----
+    ProgramBuilder &add(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &sub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &and_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &or_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &xor_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &sll(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &srl(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &sra(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &slt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &sltu(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &min(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &max(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &mul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &div(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &rem(RegIndex rd, RegIndex rs1, RegIndex rs2);
+
+    // ----- integer register-immediate -----
+    ProgramBuilder &addi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &andi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &ori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &xori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &slli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &srli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &srai(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &slti(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &li(RegIndex rd, std::int64_t imm);
+    /** rd = rs1 (assembles to ADDI rd, rs1, 0). */
+    ProgramBuilder &mv(RegIndex rd, RegIndex rs1);
+    ProgramBuilder &nop();
+
+    // ----- floating point -----
+    ProgramBuilder &fadd(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fsub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fmul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fdiv(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fmin(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fmax(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &flt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fle(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fcvtI2F(RegIndex rd, RegIndex rs1);
+    ProgramBuilder &fcvtF2I(RegIndex rd, RegIndex rs1);
+    ProgramBuilder &fmv(RegIndex rd, RegIndex rs1);
+
+    // ----- memory (ea = x[rs1] + imm) -----
+    ProgramBuilder &ld(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &lw(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &lbu(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &sd(RegIndex rs2, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &sw(RegIndex rs2, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &sb(RegIndex rs2, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &fld(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &fsd(RegIndex rs2, RegIndex rs1, std::int64_t imm);
+    ProgramBuilder &amoadd(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &amoswap(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fence();
+
+    // ----- control flow -----
+    ProgramBuilder &beq(RegIndex rs1, RegIndex rs2,
+                        const std::string &l);
+    ProgramBuilder &bne(RegIndex rs1, RegIndex rs2,
+                        const std::string &l);
+    ProgramBuilder &blt(RegIndex rs1, RegIndex rs2,
+                        const std::string &l);
+    ProgramBuilder &bge(RegIndex rs1, RegIndex rs2,
+                        const std::string &l);
+    ProgramBuilder &bltu(RegIndex rs1, RegIndex rs2,
+                         const std::string &l);
+    ProgramBuilder &bgeu(RegIndex rs1, RegIndex rs2,
+                         const std::string &l);
+    ProgramBuilder &j(const std::string &l);
+
+    // ----- SPL extension -----
+    /** Bind configuration @p cfg as this thread's active function. */
+    ProgramBuilder &splCfg(std::int64_t cfg);
+    /** Push x[rs2] into the input queue at byte @p align, @p width B. */
+    ProgramBuilder &splLoad(RegIndex rs2, std::int64_t align,
+                            std::int64_t width = 8);
+    /** Load the int32 at x[rs1]+off straight into input-queue word
+     *  @p word_idx (one instruction: L1D access + enqueue). */
+    ProgramBuilder &splLoadM(RegIndex rs1, std::int64_t off,
+                             std::int64_t word_idx);
+    /** As splLoadM but loads a zero-extended byte. */
+    ProgramBuilder &splLoadMB(RegIndex rs1, std::int64_t off,
+                              std::int64_t word_idx);
+    /** Issue the fabric; results go to @p dest_thread's output queue. */
+    ProgramBuilder &splInit(std::int64_t cfg,
+                            std::int64_t dest_thread = -1);
+    /** Barrier-flagged initiate joining barrier @p barrier_id. */
+    ProgramBuilder &splBar(std::int64_t cfg, std::int64_t barrier_id);
+    /** Pop @p width bytes at @p align from the output queue into rd. */
+    ProgramBuilder &splStore(RegIndex rd, std::int64_t align,
+                             std::int64_t width = 8);
+    /** Pop the next output word and store it as int32 at
+     *  x[rs1]+off (output queue -> store queue, one instruction). */
+    ProgramBuilder &splStoreM(RegIndex rs1, std::int64_t off);
+
+    ProgramBuilder &halt();
+
+    /** Current instruction count (next instruction's index). */
+    std::size_t here() const { return code_.size(); }
+
+    /**
+     * Resolve labels and return the finished program.
+     * Calls REMAP_FATAL on undefined labels.
+     */
+    Program build();
+
+  private:
+    ProgramBuilder &emit(Opcode op, RegIndex rd, RegIndex rs1,
+                         RegIndex rs2, std::int64_t imm = 0,
+                         std::int64_t imm2 = 0);
+    ProgramBuilder &emitBranch(Opcode op, RegIndex rs1, RegIndex rs2,
+                               const std::string &l);
+
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::map<std::string, std::uint32_t> labels_;
+    /** (instruction index, label) fixups awaiting resolution. */
+    std::vector<std::pair<std::uint32_t, std::string>> fixups_;
+};
+
+} // namespace remap::isa
+
+#endif // REMAP_ISA_BUILDER_HH

@@ -1,0 +1,173 @@
+#include "isa/interp.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace remap::isa
+{
+
+InterpResult
+interpret(const Program &prog, mem::MemoryImage &mem,
+          std::uint64_t max_steps)
+{
+    InterpResult r;
+    std::uint32_t pc = 0;
+
+    auto rd_int = [&](RegIndex x) -> std::int64_t {
+        return x == 0 ? 0 : r.intRegs[x];
+    };
+    auto wr_int = [&](RegIndex x, std::int64_t v) {
+        if (x != 0)
+            r.intRegs[x] = v;
+    };
+
+    while (r.instructions < max_steps) {
+        REMAP_ASSERT(pc < prog.code.size(),
+                     "interpreter pc out of range in '%s'",
+                     prog.name.c_str());
+        const Instruction &i = prog.code[pc];
+        ++r.instructions;
+        const std::int64_t a = rd_int(i.rs1);
+        const std::int64_t b = rd_int(i.rs2);
+        const double fa = r.fpRegs[i.rs1];
+        const double fb = r.fpRegs[i.rs2];
+        std::uint32_t next = pc + 1;
+
+        switch (i.op) {
+          case Opcode::ADD: wr_int(i.rd, a + b); break;
+          case Opcode::SUB: wr_int(i.rd, a - b); break;
+          case Opcode::AND: wr_int(i.rd, a & b); break;
+          case Opcode::OR: wr_int(i.rd, a | b); break;
+          case Opcode::XOR: wr_int(i.rd, a ^ b); break;
+          case Opcode::SLL:
+            wr_int(i.rd, std::int64_t(std::uint64_t(a)
+                                      << (b & 63)));
+            break;
+          case Opcode::SRL:
+            wr_int(i.rd,
+                   std::int64_t(std::uint64_t(a) >> (b & 63)));
+            break;
+          case Opcode::SRA: wr_int(i.rd, a >> (b & 63)); break;
+          case Opcode::SLT: wr_int(i.rd, a < b ? 1 : 0); break;
+          case Opcode::SLTU:
+            wr_int(i.rd,
+                   std::uint64_t(a) < std::uint64_t(b) ? 1 : 0);
+            break;
+          case Opcode::MIN: wr_int(i.rd, std::min(a, b)); break;
+          case Opcode::MAX: wr_int(i.rd, std::max(a, b)); break;
+          case Opcode::MUL: wr_int(i.rd, a * b); break;
+          case Opcode::DIV: wr_int(i.rd, b == 0 ? -1 : a / b); break;
+          case Opcode::REM: wr_int(i.rd, b == 0 ? a : a % b); break;
+          case Opcode::ADDI: wr_int(i.rd, a + i.imm); break;
+          case Opcode::ANDI: wr_int(i.rd, a & i.imm); break;
+          case Opcode::ORI: wr_int(i.rd, a | i.imm); break;
+          case Opcode::XORI: wr_int(i.rd, a ^ i.imm); break;
+          case Opcode::SLLI:
+            wr_int(i.rd, std::int64_t(std::uint64_t(a)
+                                      << (i.imm & 63)));
+            break;
+          case Opcode::SRLI:
+            wr_int(i.rd,
+                   std::int64_t(std::uint64_t(a) >> (i.imm & 63)));
+            break;
+          case Opcode::SRAI: wr_int(i.rd, a >> (i.imm & 63)); break;
+          case Opcode::SLTI: wr_int(i.rd, a < i.imm ? 1 : 0); break;
+          case Opcode::LI: wr_int(i.rd, i.imm); break;
+          case Opcode::FADD: r.fpRegs[i.rd] = fa + fb; break;
+          case Opcode::FSUB: r.fpRegs[i.rd] = fa - fb; break;
+          case Opcode::FMUL: r.fpRegs[i.rd] = fa * fb; break;
+          case Opcode::FDIV: r.fpRegs[i.rd] = fa / fb; break;
+          case Opcode::FMIN:
+            r.fpRegs[i.rd] = std::min(fa, fb);
+            break;
+          case Opcode::FMAX:
+            r.fpRegs[i.rd] = std::max(fa, fb);
+            break;
+          case Opcode::FLT: wr_int(i.rd, fa < fb ? 1 : 0); break;
+          case Opcode::FLE: wr_int(i.rd, fa <= fb ? 1 : 0); break;
+          case Opcode::FCVT_I2F:
+            r.fpRegs[i.rd] = static_cast<double>(a);
+            break;
+          case Opcode::FCVT_F2I:
+            wr_int(i.rd, static_cast<std::int64_t>(fa));
+            break;
+          case Opcode::FMV: r.fpRegs[i.rd] = fa; break;
+          case Opcode::LD:
+            wr_int(i.rd, mem.readI64(Addr(a + i.imm)));
+            break;
+          case Opcode::LW:
+            wr_int(i.rd, mem.readI32(Addr(a + i.imm)));
+            break;
+          case Opcode::LBU:
+            wr_int(i.rd, mem.readU8(Addr(a + i.imm)));
+            break;
+          case Opcode::FLD:
+            r.fpRegs[i.rd] = mem.readF64(Addr(a + i.imm));
+            break;
+          case Opcode::SD: mem.writeI64(Addr(a + i.imm), b); break;
+          case Opcode::SW:
+            mem.writeI32(Addr(a + i.imm),
+                         static_cast<std::int32_t>(b));
+            break;
+          case Opcode::SB:
+            mem.writeU8(Addr(a + i.imm),
+                        static_cast<std::uint8_t>(b));
+            break;
+          case Opcode::FSD: mem.writeF64(Addr(a + i.imm), fb); break;
+          case Opcode::AMOADD: {
+            std::int64_t old = mem.readI64(Addr(a));
+            mem.writeI64(Addr(a), old + b);
+            wr_int(i.rd, old);
+            break;
+          }
+          case Opcode::AMOSWAP: {
+            std::int64_t old = mem.readI64(Addr(a));
+            mem.writeI64(Addr(a), b);
+            wr_int(i.rd, old);
+            break;
+          }
+          case Opcode::FENCE:
+          case Opcode::NOP:
+          case Opcode::SPL_CFG:
+            break;
+          case Opcode::BEQ:
+            if (a == b) next = i.target;
+            break;
+          case Opcode::BNE:
+            if (a != b) next = i.target;
+            break;
+          case Opcode::BLT:
+            if (a < b) next = i.target;
+            break;
+          case Opcode::BGE:
+            if (a >= b) next = i.target;
+            break;
+          case Opcode::BLTU:
+            if (std::uint64_t(a) < std::uint64_t(b))
+                next = i.target;
+            break;
+          case Opcode::BGEU:
+            if (std::uint64_t(a) >= std::uint64_t(b))
+                next = i.target;
+            break;
+          case Opcode::J: next = i.target; break;
+          case Opcode::SPL_LOAD:
+          case Opcode::SPL_LOADM:
+          case Opcode::SPL_LOADMB:
+          case Opcode::SPL_INIT:
+          case Opcode::SPL_BAR:
+          case Opcode::SPL_STORE:
+          case Opcode::SPL_STOREM:
+            REMAP_FATAL("interpreter cannot execute SPL opcode in "
+                        "'%s'", prog.name.c_str());
+          case Opcode::HALT:
+            r.halted = true;
+            return r;
+        }
+        pc = next;
+    }
+    return r;
+}
+
+} // namespace remap::isa

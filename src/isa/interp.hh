@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Interpreter — a pure functional executor for mini-ISA programs
+ * (no timing, no SPL). It exists as an independent reference
+ * implementation of the ISA semantics: the differential test suite
+ * runs randomized programs through both this interpreter and the
+ * cycle-level OooCore and requires identical architectural results.
+ * It is also handy for fast golden-model construction.
+ */
+
+#ifndef REMAP_ISA_INTERP_HH
+#define REMAP_ISA_INTERP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.hh"
+#include "mem/memory_image.hh"
+
+namespace remap::isa
+{
+
+/** Architectural outcome of an interpreted run. */
+struct InterpResult
+{
+    std::array<std::int64_t, numIntRegs> intRegs{};
+    std::array<double, numFpRegs> fpRegs{};
+    /** Dynamic instructions executed. */
+    std::uint64_t instructions = 0;
+    /** False when the step limit was hit before HALT. */
+    bool halted = false;
+};
+
+/**
+ * Execute @p prog functionally over @p mem.
+ *
+ * SPL opcodes are rejected with REMAP_FATAL — the interpreter is a
+ * single-thread ISA reference, not a fabric model.
+ *
+ * @param max_steps dynamic-instruction budget
+ */
+InterpResult interpret(const Program &prog, mem::MemoryImage &mem,
+                       std::uint64_t max_steps = 10'000'000);
+
+} // namespace remap::isa
+
+#endif // REMAP_ISA_INTERP_HH

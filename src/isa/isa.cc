@@ -1,0 +1,321 @@
+#include "isa/isa.hh"
+
+#include <sstream>
+
+namespace remap::isa
+{
+
+OpClass
+Instruction::opClass() const
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::MIN: case Opcode::MAX:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI: case Opcode::LI:
+      case Opcode::NOP:
+        return OpClass::IntAlu;
+      case Opcode::MUL:
+        return OpClass::IntMult;
+      case Opcode::DIV: case Opcode::REM:
+        return OpClass::IntDiv;
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMIN:
+      case Opcode::FMAX: case Opcode::FLT: case Opcode::FLE:
+      case Opcode::FCVT_I2F: case Opcode::FCVT_F2I: case Opcode::FMV:
+        return OpClass::FpAlu;
+      case Opcode::FMUL:
+        return OpClass::FpMult;
+      case Opcode::FDIV:
+        return OpClass::FpDiv;
+      case Opcode::LD: case Opcode::LW: case Opcode::LBU:
+      case Opcode::FLD:
+        return OpClass::Load;
+      case Opcode::SD: case Opcode::SW: case Opcode::SB:
+      case Opcode::FSD:
+        return OpClass::Store;
+      case Opcode::AMOADD: case Opcode::AMOSWAP:
+        return OpClass::Amo;
+      case Opcode::FENCE:
+        return OpClass::Fence;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+      case Opcode::J:
+        return OpClass::Branch;
+      case Opcode::SPL_LOAD:
+        return OpClass::SplLoad;
+      case Opcode::SPL_LOADM: case Opcode::SPL_LOADMB:
+        return OpClass::SplLoadMem;
+      case Opcode::SPL_INIT: case Opcode::SPL_BAR:
+        return OpClass::SplInit;
+      case Opcode::SPL_STORE:
+        return OpClass::SplStore;
+      case Opcode::SPL_STOREM:
+        return OpClass::SplStoreMem;
+      case Opcode::SPL_CFG:
+        return OpClass::SplCfg;
+      case Opcode::HALT:
+        return OpClass::Halt;
+    }
+    return OpClass::IntAlu;
+}
+
+bool
+Instruction::isBranch() const
+{
+    switch (op) {
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+      case Opcode::J:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::isLoad() const
+{
+    switch (op) {
+      case Opcode::LD: case Opcode::LW: case Opcode::LBU:
+      case Opcode::FLD: case Opcode::AMOADD: case Opcode::AMOSWAP:
+      case Opcode::SPL_LOADM: case Opcode::SPL_LOADMB:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::isStore() const
+{
+    switch (op) {
+      case Opcode::SD: case Opcode::SW: case Opcode::SB:
+      case Opcode::FSD: case Opcode::AMOADD: case Opcode::AMOSWAP:
+      case Opcode::SPL_STOREM:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::isSpl() const
+{
+    switch (op) {
+      case Opcode::SPL_CFG: case Opcode::SPL_LOAD:
+      case Opcode::SPL_LOADM: case Opcode::SPL_LOADMB:
+      case Opcode::SPL_INIT: case Opcode::SPL_BAR:
+      case Opcode::SPL_STORE: case Opcode::SPL_STOREM:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::writesIntReg() const
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::MIN: case Opcode::MAX:
+      case Opcode::MUL: case Opcode::DIV: case Opcode::REM:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI: case Opcode::LI:
+      case Opcode::FLT: case Opcode::FLE: case Opcode::FCVT_F2I:
+      case Opcode::LD: case Opcode::LW: case Opcode::LBU:
+      case Opcode::AMOADD: case Opcode::AMOSWAP:
+      case Opcode::SPL_STORE:
+        return rd != 0;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::writesFpReg() const
+{
+    switch (op) {
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FMIN: case Opcode::FMAX:
+      case Opcode::FCVT_I2F: case Opcode::FMV: case Opcode::FLD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::readsFpRs1() const
+{
+    switch (op) {
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FMIN: case Opcode::FMAX:
+      case Opcode::FLT: case Opcode::FLE: case Opcode::FCVT_F2I:
+      case Opcode::FMV:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::readsFpRs2() const
+{
+    switch (op) {
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FMIN: case Opcode::FMAX:
+      case Opcode::FLT: case Opcode::FLE: case Opcode::FSD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::readsIntRs1() const
+{
+    switch (op) {
+      case Opcode::LI: case Opcode::J: case Opcode::NOP:
+      case Opcode::HALT: case Opcode::FENCE: case Opcode::SPL_CFG:
+      case Opcode::SPL_INIT: case Opcode::SPL_BAR:
+      case Opcode::SPL_STORE: case Opcode::SPL_LOAD:
+        return false;
+      default:
+        return !readsFpRs1();
+    }
+}
+
+bool
+Instruction::readsIntRs2() const
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::MIN: case Opcode::MAX:
+      case Opcode::MUL: case Opcode::DIV: case Opcode::REM:
+      case Opcode::SD: case Opcode::SW: case Opcode::SB:
+      case Opcode::AMOADD: case Opcode::AMOSWAP:
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+      case Opcode::SPL_LOAD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLL: return "sll";
+      case Opcode::SRL: return "srl";
+      case Opcode::SRA: return "sra";
+      case Opcode::SLT: return "slt";
+      case Opcode::SLTU: return "sltu";
+      case Opcode::MIN: return "min";
+      case Opcode::MAX: return "max";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::REM: return "rem";
+      case Opcode::ADDI: return "addi";
+      case Opcode::ANDI: return "andi";
+      case Opcode::ORI: return "ori";
+      case Opcode::XORI: return "xori";
+      case Opcode::SLLI: return "slli";
+      case Opcode::SRLI: return "srli";
+      case Opcode::SRAI: return "srai";
+      case Opcode::SLTI: return "slti";
+      case Opcode::LI: return "li";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FSUB: return "fsub";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FDIV: return "fdiv";
+      case Opcode::FMIN: return "fmin";
+      case Opcode::FMAX: return "fmax";
+      case Opcode::FLT: return "flt";
+      case Opcode::FLE: return "fle";
+      case Opcode::FCVT_I2F: return "fcvt.i2f";
+      case Opcode::FCVT_F2I: return "fcvt.f2i";
+      case Opcode::FMV: return "fmv";
+      case Opcode::LD: return "ld";
+      case Opcode::LW: return "lw";
+      case Opcode::LBU: return "lbu";
+      case Opcode::SD: return "sd";
+      case Opcode::SW: return "sw";
+      case Opcode::SB: return "sb";
+      case Opcode::FLD: return "fld";
+      case Opcode::FSD: return "fsd";
+      case Opcode::AMOADD: return "amoadd";
+      case Opcode::AMOSWAP: return "amoswap";
+      case Opcode::FENCE: return "fence";
+      case Opcode::BEQ: return "beq";
+      case Opcode::BNE: return "bne";
+      case Opcode::BLT: return "blt";
+      case Opcode::BGE: return "bge";
+      case Opcode::BLTU: return "bltu";
+      case Opcode::BGEU: return "bgeu";
+      case Opcode::J: return "j";
+      case Opcode::SPL_CFG: return "spl_cfg";
+      case Opcode::SPL_LOAD: return "spl_load";
+      case Opcode::SPL_LOADM: return "spl_loadm";
+      case Opcode::SPL_LOADMB: return "spl_loadmb";
+      case Opcode::SPL_INIT: return "spl_init";
+      case Opcode::SPL_BAR: return "spl_bar";
+      case Opcode::SPL_STORE: return "spl_store";
+      case Opcode::SPL_STOREM: return "spl_storem";
+      case Opcode::HALT: return "halt";
+      case Opcode::NOP: return "nop";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    if (inst.isBranch()) {
+        os << " x" << int(inst.rs1) << ", x" << int(inst.rs2) << ", @"
+           << inst.target;
+    } else if (inst.isLoad() || inst.isStore()) {
+        os << " x" << int(inst.rd) << "/x" << int(inst.rs2) << ", "
+           << inst.imm << "(x" << int(inst.rs1) << ")";
+    } else if (inst.isSpl()) {
+        os << " x" << int(inst.rd) << ", x" << int(inst.rs2)
+           << ", imm=" << inst.imm << ", imm2=" << inst.imm2;
+    } else {
+        os << " x" << int(inst.rd) << ", x" << int(inst.rs1) << ", x"
+           << int(inst.rs2) << ", imm=" << inst.imm;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream os;
+    os << "# " << prog.name << " (" << prog.code.size() << " insts)\n";
+    for (std::size_t i = 0; i < prog.code.size(); ++i)
+        os << i << ":\t" << disassemble(prog.code[i]) << '\n';
+    return os.str();
+}
+
+} // namespace remap::isa

@@ -1,0 +1,148 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace remap::mem
+{
+
+Cache::Cache(const CacheParams &params)
+    : params_(params), statGroup_(params.name)
+{
+    REMAP_ASSERT(params_.lineBytes > 0 &&
+                 (params_.lineBytes & (params_.lineBytes - 1)) == 0,
+                 "line size must be a power of two");
+    std::size_t num_lines = params_.sizeBytes / params_.lineBytes;
+    REMAP_ASSERT(num_lines % params_.assoc == 0,
+                 "cache geometry does not divide evenly");
+    numSets_ = num_lines / params_.assoc;
+    lineMask_ = params_.lineBytes - 1;
+    lines_.resize(num_lines);
+
+    statGroup_.addCounter("hits", &hits);
+    statGroup_.addCounter("misses", &misses);
+    statGroup_.addCounter("evictions", &evictions);
+    statGroup_.addCounter("writebacks", &writebacks);
+    statGroup_.addCounter("snoop_invalidations",
+                          &snoopInvalidations);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / params_.lineBytes) % numSets_;
+}
+
+Cache::Line *
+Cache::lookup(Addr addr)
+{
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * params_.assoc;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[base + w];
+        if (line.state != Mesi::Invalid && line.tag == tag) {
+            line.lruStamp = ++lruClock_;
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::probe(Addr addr) const
+{
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * params_.assoc;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.state != Mesi::Invalid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+Cache::Line *
+Cache::allocate(Addr addr, Addr *victim_addr, Mesi *victim_state)
+{
+    *victim_addr = 0;
+    *victim_state = Mesi::Invalid;
+
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * params_.assoc;
+
+    // Prefer an invalid way; otherwise evict true-LRU.
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[base + w];
+        if (line.state == Mesi::Invalid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+
+    if (victim->state != Mesi::Invalid) {
+        ++evictions;
+        if (victim->state == Mesi::Modified)
+            ++writebacks;
+        *victim_addr = victim->tag;
+        *victim_state = victim->state;
+    }
+
+    victim->tag = tag;
+    victim->state = Mesi::Invalid;
+    victim->lruStamp = ++lruClock_;
+    return victim;
+}
+
+Mesi
+Cache::invalidate(Addr addr)
+{
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * params_.assoc;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[base + w];
+        if (line.state != Mesi::Invalid && line.tag == tag) {
+            Mesi prev = line.state;
+            line.state = Mesi::Invalid;
+            ++snoopInvalidations;
+            return prev;
+        }
+    }
+    return Mesi::Invalid;
+}
+
+Mesi
+Cache::downgradeToShared(Addr addr)
+{
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * params_.assoc;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[base + w];
+        if (line.state != Mesi::Invalid && line.tag == tag) {
+            Mesi prev = line.state;
+            line.state = Mesi::Shared;
+            return prev;
+        }
+    }
+    return Mesi::Invalid;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : lines_)
+        line.state = Mesi::Invalid;
+}
+
+std::size_t
+Cache::residentLines() const
+{
+    std::size_t n = 0;
+    for (const auto &line : lines_)
+        if (line.state != Mesi::Invalid)
+            ++n;
+    return n;
+}
+
+} // namespace remap::mem

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * MemoryImage — the functional backing store shared by all cores.
+ *
+ * The timing side of the memory system (caches, bus, DRAM) models
+ * *when* accesses complete; the MemoryImage models *what* they return.
+ * Keeping the two separate (a standard simulator technique) means
+ * coherence bugs can only ever corrupt timing, never program results,
+ * which the test suite exploits by checking kernel outputs against
+ * golden C++ implementations.
+ */
+
+#ifndef REMAP_MEM_MEMORY_IMAGE_HH
+#define REMAP_MEM_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace remap::mem
+{
+
+/** Sparse, page-granular byte-addressable memory. */
+class MemoryImage
+{
+  public:
+    /** Bytes per allocation page. */
+    static constexpr std::size_t pageSize = 4096;
+
+    /** Read @p len (1..8) bytes at @p addr, little-endian. */
+    std::uint64_t
+    read(Addr addr, unsigned len) const
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < len; ++i)
+            v |= std::uint64_t(peek(addr + i)) << (8 * i);
+        return v;
+    }
+
+    /** Write the low @p len bytes of @p value at @p addr. */
+    void
+    write(Addr addr, std::uint64_t value, unsigned len)
+    {
+        for (unsigned i = 0; i < len; ++i)
+            poke(addr + i, std::uint8_t(value >> (8 * i)));
+    }
+
+    /** Typed convenience accessors. */
+    std::int64_t
+    readI64(Addr a) const
+    {
+        return static_cast<std::int64_t>(read(a, 8));
+    }
+    std::int32_t
+    readI32(Addr a) const
+    {
+        return static_cast<std::int32_t>(read(a, 4));
+    }
+    std::uint8_t readU8(Addr a) const { return peek(a); }
+    double
+    readF64(Addr a) const
+    {
+        std::uint64_t bits = read(a, 8);
+        double d;
+        std::memcpy(&d, &bits, 8);
+        return d;
+    }
+
+    void writeI64(Addr a, std::int64_t v)
+    {
+        write(a, static_cast<std::uint64_t>(v), 8);
+    }
+    void writeI32(Addr a, std::int32_t v)
+    {
+        write(a, static_cast<std::uint32_t>(v), 4);
+    }
+    void writeU8(Addr a, std::uint8_t v) { poke(a, v); }
+    void
+    writeF64(Addr a, double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        write(a, bits, 8);
+    }
+
+    /** Zero-fill and drop all pages. */
+    void clear() { pages_.clear(); }
+
+  private:
+    std::uint8_t
+    peek(Addr addr) const
+    {
+        auto it = pages_.find(addr / pageSize);
+        if (it == pages_.end())
+            return 0;
+        return (*it->second)[addr % pageSize];
+    }
+
+    void
+    poke(Addr addr, std::uint8_t v)
+    {
+        auto &page = pages_[addr / pageSize];
+        if (!page)
+            page = std::make_unique<
+                std::vector<std::uint8_t>>(pageSize, 0);
+        (*page)[addr % pageSize] = v;
+    }
+
+    std::unordered_map<Addr,
+        std::unique_ptr<std::vector<std::uint8_t>>> pages_;
+};
+
+} // namespace remap::mem
+
+#endif // REMAP_MEM_MEMORY_IMAGE_HH

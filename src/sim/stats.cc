@@ -1,0 +1,25 @@
+#include "sim/stats.hh"
+
+namespace remap
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat_name, counter] : counters_)
+        os << name_ << '.' << stat_name << ' ' << counter->value()
+           << '\n';
+    for (const auto &[stat_name, avg] : averages_)
+        os << name_ << '.' << stat_name << ' ' << avg->mean() << '\n';
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[stat_name, counter] : counters_)
+        counter->reset();
+    for (auto &[stat_name, avg] : averages_)
+        avg->reset();
+}
+
+} // namespace remap

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Lightweight statistics framework: named scalar counters, averages and
+ * histograms that register themselves with a StatGroup for reporting.
+ *
+ * Modelled on gem5's stats package at a much smaller scale: every
+ * hardware structure owns a StatGroup; the System aggregates groups
+ * into a report.
+ */
+
+#ifndef REMAP_SIM_STATS_HH
+#define REMAP_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace remap
+{
+
+/** A named monotonically increasing 64-bit counter. */
+class StatCounter
+{
+  public:
+    StatCounter() = default;
+
+    /** Add @p n events. */
+    void operator+=(std::uint64_t n) { value_ += n; }
+    /** Record a single event. */
+    StatCounter &operator++() { ++value_; return *this; }
+
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero (used between measurement regions). */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean of a sampled quantity. */
+class StatAverage
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+    /** Mean of samples, or 0 when empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Discard all samples. */
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, bucketCount * bucketWidth). */
+class StatHistogram
+{
+  public:
+    /**
+     * @param bucket_count number of equal-width buckets
+     * @param bucket_width width of each bucket
+     */
+    explicit StatHistogram(unsigned bucket_count = 16,
+                           double bucket_width = 1.0)
+        : buckets_(bucket_count, 0), width_(bucket_width)
+    {
+    }
+
+    /** Record one sample; out-of-range samples land in the last bucket. */
+    void
+    sample(double v)
+    {
+        auto idx = static_cast<std::size_t>(v / width_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+        ++count_;
+    }
+
+    /** Count in bucket @p i. */
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    /** Number of buckets. */
+    std::size_t size() const { return buckets_.size(); }
+    /** Total samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Discard all samples. */
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        count_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    double width_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A named collection of statistics belonging to one simulated object.
+ *
+ * Stats are registered by pointer; the group does not own them. The
+ * owning object must outlive the group's reporting calls (in practice
+ * both live in the same structure).
+ */
+class StatGroup
+{
+  public:
+    /** @param name dotted path of the owning object, e.g. "core0.rob" */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p stat_name. */
+    void
+    addCounter(const std::string &stat_name, StatCounter *c)
+    {
+        counters_.emplace(stat_name, c);
+    }
+
+    /** Register an average under @p stat_name. */
+    void
+    addAverage(const std::string &stat_name, StatAverage *a)
+    {
+        averages_.emplace(stat_name, a);
+    }
+
+    /** Group name (dotted path). */
+    const std::string &name() const { return name_; }
+
+    /** Write "group.stat value" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat. */
+    void reset();
+
+    /** Access registered counters (for programmatic queries). */
+    const std::map<std::string, StatCounter *> &
+    counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, StatCounter *> counters_;
+    std::map<std::string, StatAverage *> averages_;
+};
+
+} // namespace remap
+
+#endif // REMAP_SIM_STATS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every ReMAP subsystem.
+ */
+
+#ifndef REMAP_SIM_TYPES_HH
+#define REMAP_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace remap
+{
+
+/** A simulated time step, counted in core clock cycles (2 GHz). */
+using Cycle = std::uint64_t;
+
+/** A simulated byte address in the shared physical address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a hardware core within the chip (dense, 0-based). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a software thread (dense, 0-based, per application). */
+using ThreadId = std::uint32_t;
+
+/** Identifier of an application (address-space / SPL app ID). */
+using AppId = std::uint32_t;
+
+/** Identifier of an SPL cluster on the chip. */
+using ClusterId = std::uint32_t;
+
+/** Identifier of a loaded SPL configuration (function). */
+using ConfigId = std::uint32_t;
+
+/** Sentinel for "no core". */
+inline constexpr CoreId invalidCore = ~CoreId{0};
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId invalidThread = ~ThreadId{0};
+
+/** Sentinel cycle value meaning "never / not scheduled". */
+inline constexpr Cycle neverCycle = ~Cycle{0};
+
+/**
+ * Clock parameters of the simulated chip.
+ *
+ * The paper fixes the cores at 2 GHz and the SPL at 500 MHz (a 4:1
+ * ratio), both in 65 nm at 1.1 V.
+ */
+struct ClockParams
+{
+    /** Core frequency in Hz. */
+    double coreFreqHz = 2.0e9;
+    /** SPL fabric frequency in Hz. */
+    double splFreqHz = 0.5e9;
+
+    /** Core cycles per SPL cycle (must divide evenly). */
+    unsigned
+    coreCyclesPerSplCycle() const
+    {
+        return static_cast<unsigned>(coreFreqHz / splFreqHz);
+    }
+
+    /** Convert a count of core cycles to seconds. */
+    double
+    cyclesToSeconds(Cycle cycles) const
+    {
+        return static_cast<double>(cycles) / coreFreqHz;
+    }
+};
+
+} // namespace remap
+
+#endif // REMAP_SIM_TYPES_HH

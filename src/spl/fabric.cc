@@ -1,0 +1,671 @@
+#include "spl/fabric.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace remap::spl
+{
+
+// ---------------------------------------------------------------- //
+// ConfigStore
+// ---------------------------------------------------------------- //
+
+ConfigId
+ConfigStore::add(SplFunction fn)
+{
+    fns_.push_back(std::move(fn));
+    return static_cast<ConfigId>(fns_.size() - 1);
+}
+
+const SplFunction &
+ConfigStore::get(ConfigId id) const
+{
+    REMAP_ASSERT(id < fns_.size(), "bad SPL configuration id");
+    return fns_[id];
+}
+
+// ---------------------------------------------------------------- //
+// ThreadToCoreTable
+// ---------------------------------------------------------------- //
+
+ThreadToCoreTable::ThreadToCoreTable(unsigned cores) : entries_(cores)
+{
+}
+
+void
+ThreadToCoreTable::map(unsigned core, ThreadId thread, AppId app)
+{
+    REMAP_ASSERT(core < entries_.size(), "core out of range");
+    Entry &e = entries_[core];
+    REMAP_ASSERT(e.inFlight == 0,
+                 "mapping over a core with in-flight SPL results");
+    e.valid = true;
+    e.thread = thread;
+    e.app = app;
+    e.inFlight = 0;
+}
+
+void
+ThreadToCoreTable::unmap(unsigned core)
+{
+    REMAP_ASSERT(core < entries_.size(), "core out of range");
+    Entry &e = entries_[core];
+    REMAP_ASSERT(e.inFlight == 0,
+                 "unmapping a core with in-flight SPL results");
+    e.valid = false;
+    e.thread = invalidThread;
+}
+
+std::optional<unsigned>
+ThreadToCoreTable::coreOf(ThreadId thread) const
+{
+    for (unsigned c = 0; c < entries_.size(); ++c)
+        if (entries_[c].valid && entries_[c].thread == thread)
+            return c;
+    return std::nullopt;
+}
+
+std::optional<ThreadId>
+ThreadToCoreTable::threadOn(unsigned core) const
+{
+    REMAP_ASSERT(core < entries_.size(), "core out of range");
+    if (!entries_[core].valid)
+        return std::nullopt;
+    return entries_[core].thread;
+}
+
+unsigned
+ThreadToCoreTable::inFlight(unsigned core) const
+{
+    REMAP_ASSERT(core < entries_.size(), "core out of range");
+    return entries_[core].inFlight;
+}
+
+void
+ThreadToCoreTable::addInFlight(unsigned core)
+{
+    REMAP_ASSERT(core < entries_.size(), "core out of range");
+    ++entries_[core].inFlight;
+}
+
+void
+ThreadToCoreTable::removeInFlight(unsigned core)
+{
+    REMAP_ASSERT(core < entries_.size(), "core out of range");
+    if (entries_[core].inFlight > 0)
+        --entries_[core].inFlight;
+}
+
+// ---------------------------------------------------------------- //
+// BarrierUnit
+// ---------------------------------------------------------------- //
+
+void
+BarrierUnit::attachFabrics(std::vector<SplFabric *> fabrics)
+{
+    fabrics_ = std::move(fabrics);
+}
+
+void
+BarrierUnit::declare(std::uint32_t id, unsigned total)
+{
+    REMAP_ASSERT(total > 0, "barrier with zero participants");
+    barriers_[id].total = total;
+    barriers_[id].arrivals.clear();
+}
+
+void
+BarrierUnit::arrive(std::uint32_t id, ThreadId thread,
+                    ClusterId cluster, unsigned local_core,
+                    ConfigId cfg, std::vector<std::int32_t> inputs,
+                    Cycle now)
+{
+    auto it = barriers_.find(id);
+    REMAP_ASSERT(it != barriers_.end(), "arrival at undeclared barrier");
+    BarrierState &b = it->second;
+    b.arrivals.push_back(
+        Arrival{thread, cluster, local_core, std::move(inputs), now});
+    ++busUpdates;
+    if (b.arrivals.size() == b.total)
+        release(id, b, cfg);
+}
+
+void
+BarrierUnit::release(std::uint32_t id, BarrierState &b, ConfigId cfg)
+{
+    (void)id;
+    // Group arrivals per cluster; each cluster's fabric performs the
+    // regional computation over its local participants.
+    std::unordered_map<ClusterId, std::vector<const Arrival *>>
+        by_cluster;
+    for (const Arrival &a : b.arrivals)
+        by_cluster[a.cluster].push_back(&a);
+
+    for (auto &[cluster, locals] : by_cluster) {
+        Cycle release_cycle = 0;
+        for (const Arrival &a : b.arrivals) {
+            Cycle seen = a.cycle +
+                (a.cluster != cluster ? params_.barrierBusLatency : 0);
+            release_cycle = std::max(release_cycle, seen);
+        }
+        std::vector<unsigned> cores;
+        std::vector<std::vector<std::int32_t>> inputs;
+        for (const Arrival *a : locals) {
+            cores.push_back(a->localCore);
+            inputs.push_back(a->inputs);
+        }
+        REMAP_ASSERT(cluster < fabrics_.size() && fabrics_[cluster],
+                     "barrier arrival from unattached cluster");
+        fabrics_[cluster]->enqueueBarrierOp(cfg, std::move(cores),
+                                            std::move(inputs),
+                                            release_cycle);
+    }
+    ++barriersCompleted;
+    b.arrivals.clear();
+}
+
+void
+BarrierUnit::funcArrive(std::uint32_t id, ClusterId cluster,
+                        unsigned local_core, ConfigId cfg,
+                        std::vector<std::int32_t> inputs)
+{
+    auto decl = barriers_.find(id);
+    REMAP_ASSERT(decl != barriers_.end(),
+                 "functional arrival at undeclared barrier");
+    BarrierState &b = funcBarriers_[id];
+    b.total = decl->second.total;
+    b.arrivals.push_back(
+        Arrival{invalidThread, cluster, local_core, std::move(inputs),
+                0});
+    if (b.arrivals.size() < b.total)
+        return;
+
+    // Complete functionally: regional result per involved cluster.
+    std::unordered_map<ClusterId, std::vector<const Arrival *>>
+        by_cluster;
+    for (const Arrival &a : b.arrivals)
+        by_cluster[a.cluster].push_back(&a);
+    const SplFunction &fn = [&]() -> const SplFunction & {
+        REMAP_ASSERT(!fabrics_.empty() && fabrics_.front(),
+                     "no fabric attached");
+        // All fabrics share one ConfigStore; fetch via any of them.
+        return fabrics_.front()->configStore().get(cfg);
+    }();
+    for (auto &[cl, locals] : by_cluster) {
+        std::vector<std::vector<std::int32_t>> inputs_vec;
+        for (const Arrival *a : locals)
+            inputs_vec.push_back(a->inputs);
+        std::vector<std::int32_t> result =
+            fn.isReduce() && inputs_vec.size() > 1
+                ? fn.evaluateReduce(inputs_vec)
+                : (fn.isReduce() ? inputs_vec.front()
+                                 : fn.evaluate(inputs_vec.front()));
+        for (const Arrival *a : locals)
+            fabrics_[cl]->funcDeliver(a->localCore, result);
+    }
+    b.arrivals.clear();
+}
+
+std::size_t
+BarrierUnit::pendingBarriers() const
+{
+    std::size_t n = 0;
+    for (const auto &[id, b] : barriers_)
+        if (!b.arrivals.empty())
+            ++n;
+    return n;
+}
+
+// ---------------------------------------------------------------- //
+// SplFabric
+// ---------------------------------------------------------------- //
+
+SplFabric::SplFabric(ClusterId cluster, const SplParams &params,
+                     const ConfigStore *configs, BarrierUnit *barriers)
+    : cluster_(cluster),
+      params_(params),
+      configs_(configs),
+      barriers_(barriers),
+      threadTable_(params.coresPerCluster),
+      ports_(params.coresPerCluster),
+      statGroup_("spl" + std::to_string(cluster))
+{
+    for (auto &port : ports_) {
+        port.staged.assign(SplFunction::maxRegs, 0);
+        port.stagedValid.assign(SplFunction::maxRegs, false);
+        port.funcStaged.assign(SplFunction::maxRegs, 0);
+        port.funcStagedValid.assign(SplFunction::maxRegs, false);
+    }
+    setPartitions(1);
+
+    statGroup_.addCounter("initiations", &initiations);
+    statGroup_.addCounter("row_activations", &rowActivations);
+    statGroup_.addCounter("input_words", &inputWordsStaged);
+    statGroup_.addCounter("output_words", &outputWordsPopped);
+    statGroup_.addCounter("barrier_ops", &barrierOps);
+    statGroup_.addCounter("config_switches", &configSwitches);
+    statGroup_.addCounter("rr_conflicts", &rrConflicts);
+    statGroup_.addCounter("virtualized_inits", &virtualizedInits);
+}
+
+void
+SplFabric::setPartitions(unsigned n)
+{
+    REMAP_ASSERT(n == 1 || n == 2 || n == 4,
+                 "partitions must be 1, 2 or 4");
+    REMAP_ASSERT(params_.coresPerCluster % n == 0,
+                 "cores must divide evenly among partitions");
+    partitions_.clear();
+    const unsigned cores_per = params_.coresPerCluster / n;
+    const unsigned rows_per = params_.physRows / n;
+    for (unsigned p = 0; p < n; ++p) {
+        Partition part;
+        part.firstCore = p * cores_per;
+        part.numCores = cores_per;
+        part.rows = rows_per;
+        partitions_.push_back(part);
+    }
+}
+
+SplFabric::Partition &
+SplFabric::partitionOf(unsigned core)
+{
+    for (Partition &p : partitions_)
+        if (core >= p.firstCore && core < p.firstCore + p.numCores)
+            return p;
+    REMAP_PANIC("core %u not in any partition", core);
+}
+
+bool
+SplFabric::canLoad(unsigned core) const
+{
+    REMAP_ASSERT(core < ports_.size(), "core out of range");
+    return true; // backpressure applies at initiation, not staging
+}
+
+void
+SplFabric::load(unsigned core, unsigned word_idx, std::int32_t value)
+{
+    REMAP_ASSERT(core < ports_.size(), "core out of range");
+    REMAP_ASSERT(word_idx < SplFunction::maxRegs,
+                 "staged word index out of range");
+    CorePort &port = ports_[core];
+    port.staged[word_idx] = value;
+    port.stagedValid[word_idx] = true;
+    ++inputWordsStaged;
+}
+
+std::vector<std::int32_t>
+SplFabric::sealStaged(unsigned core)
+{
+    CorePort &port = ports_[core];
+    unsigned high = 0;
+    for (unsigned i = 0; i < SplFunction::maxRegs; ++i)
+        if (port.stagedValid[i])
+            high = i + 1;
+    std::vector<std::int32_t> words(port.staged.begin(),
+                                    port.staged.begin() + high);
+    std::fill(port.stagedValid.begin(), port.stagedValid.end(), false);
+    return words;
+}
+
+bool
+SplFabric::canInit(unsigned core, std::int64_t dest_thread) const
+{
+    REMAP_ASSERT(core < ports_.size(), "core out of range");
+    const CorePort &port = ports_[core];
+    if (port.pending.size() >= params_.pendingInitsPerCore)
+        return false;
+    if (dest_thread >= 0 &&
+        !threadTable_.coreOf(static_cast<ThreadId>(dest_thread)))
+        return false; // destination absent: block (Section II-B.1)
+    return true;
+}
+
+void
+SplFabric::init(unsigned core, ConfigId cfg, std::int64_t dest_thread,
+                Cycle now)
+{
+    REMAP_ASSERT(canInit(core, dest_thread), "init while not ready");
+    CorePort &port = ports_[core];
+    PendingInit p;
+    p.cfg = cfg;
+    p.destThread = dest_thread;
+    p.inputs = sealStaged(core);
+    p.readyCycle = now;
+    port.pending.push_back(std::move(p));
+
+    unsigned dest_core = core;
+    if (dest_thread >= 0)
+        dest_core =
+            *threadTable_.coreOf(static_cast<ThreadId>(dest_thread));
+    threadTable_.addInFlight(dest_core);
+}
+
+bool
+SplFabric::canBar(unsigned core) const
+{
+    REMAP_ASSERT(core < ports_.size(), "core out of range");
+    return barriers_ != nullptr;
+}
+
+void
+SplFabric::bar(unsigned core, ConfigId cfg, std::uint32_t barrier_id,
+               Cycle now)
+{
+    REMAP_ASSERT(barriers_, "barrier arrival without a BarrierUnit");
+    auto thread = threadTable_.threadOn(core);
+    REMAP_ASSERT(thread, "barrier arrival from unmapped core");
+    barriers_->arrive(barrier_id, *thread, cluster_, core, cfg,
+                      sealStaged(core), now);
+}
+
+bool
+SplFabric::outputReady(unsigned core, Cycle now) const
+{
+    REMAP_ASSERT(core < ports_.size(), "core out of range");
+    const CorePort &port = ports_[core];
+    return !port.output.empty() && port.output.front().second <= now;
+}
+
+std::int32_t
+SplFabric::popOutput(unsigned core)
+{
+    CorePort &port = ports_[core];
+    REMAP_ASSERT(!port.output.empty(), "pop from empty output queue");
+    std::int32_t v = port.output.front().first;
+    port.output.pop_front();
+    ++outputWordsPopped;
+    threadTable_.removeInFlight(core);
+    return v;
+}
+
+std::vector<std::int32_t>
+SplFabric::sealFuncStaged(unsigned core)
+{
+    CorePort &port = ports_[core];
+    unsigned high = 0;
+    for (unsigned i = 0; i < SplFunction::maxRegs; ++i)
+        if (port.funcStagedValid[i])
+            high = i + 1;
+    std::vector<std::int32_t> words(port.funcStaged.begin(),
+                                    port.funcStaged.begin() + high);
+    std::fill(port.funcStagedValid.begin(), port.funcStagedValid.end(),
+              false);
+    return words;
+}
+
+void
+SplFabric::funcLoad(unsigned core, unsigned word_idx,
+                    std::int32_t value)
+{
+    REMAP_ASSERT(core < ports_.size(), "core out of range");
+    REMAP_ASSERT(word_idx < SplFunction::maxRegs,
+                 "staged word index out of range");
+    ports_[core].funcStaged[word_idx] = value;
+    ports_[core].funcStagedValid[word_idx] = true;
+}
+
+void
+SplFabric::funcInit(unsigned core, ConfigId cfg,
+                    std::int64_t dest_thread)
+{
+    REMAP_ASSERT(core < ports_.size(), "core out of range");
+    const SplFunction &fn = configs_->get(cfg);
+    std::vector<std::int32_t> result =
+        fn.evaluate(sealFuncStaged(core));
+    unsigned dest = core;
+    if (dest_thread >= 0) {
+        auto d = threadTable_.coreOf(
+            static_cast<ThreadId>(dest_thread));
+        if (d)
+            dest = *d;
+    }
+    funcDeliver(dest, result);
+}
+
+void
+SplFabric::funcBar(unsigned core, ConfigId cfg,
+                   std::uint32_t barrier_id)
+{
+    REMAP_ASSERT(barriers_, "functional barrier without BarrierUnit");
+    barriers_->funcArrive(barrier_id, cluster_, core, cfg,
+                          sealFuncStaged(core));
+}
+
+std::optional<std::int32_t>
+SplFabric::funcPop(unsigned core)
+{
+    REMAP_ASSERT(core < ports_.size(), "core out of range");
+    CorePort &port = ports_[core];
+    if (port.funcOutput.empty())
+        return std::nullopt;
+    std::int32_t v = port.funcOutput.front();
+    port.funcOutput.pop_front();
+    return v;
+}
+
+void
+SplFabric::funcDeliver(unsigned core,
+                       const std::vector<std::int32_t> &words)
+{
+    REMAP_ASSERT(core < ports_.size(), "core out of range");
+    for (std::int32_t w : words)
+        ports_[core].funcOutput.push_back(w);
+}
+
+void
+SplFabric::deliverOutput(unsigned core,
+                         const std::vector<std::int32_t> &words,
+                         Cycle when)
+{
+    REMAP_ASSERT(core < ports_.size(), "core out of range");
+    CorePort &port = ports_[core];
+    for (std::int32_t w : words)
+        port.output.emplace_back(w, when);
+}
+
+void
+SplFabric::enqueueBarrierOp(
+    ConfigId cfg, std::vector<unsigned> local_cores,
+    std::vector<std::vector<std::int32_t>> inputs, Cycle ready)
+{
+    InFlightOp op;
+    op.cfg = cfg;
+    op.srcCore = local_cores.front();
+    op.destCores = std::move(local_cores);
+    op.inputs = std::move(inputs);
+    op.isBarrier = true;
+    op.completeCycle = ready; // interpreted as ready-for-accept
+    barrierQueue_.push_back(std::move(op));
+    // Barrier results are in-flight state for each participant.
+    for (unsigned c : barrierQueue_.back().destCores)
+        threadTable_.addInFlight(c);
+}
+
+void
+SplFabric::completeOps(Cycle now)
+{
+    for (auto it = inFlight_.begin(); it != inFlight_.end();) {
+        if (it->completeCycle > now) {
+            ++it;
+            continue;
+        }
+        const SplFunction &fn = configs_->get(it->cfg);
+        // Backpressure: results wait (queued in the fabric, as the
+        // paper describes) until the destination output queue has
+        // room for every result word.
+        const std::size_t result_words = fn.isReduce()
+            ? std::max<std::size_t>(fn.outputRegs().size(),
+                                    fn.numInputWords() / 2)
+            : fn.outputRegs().size();
+        bool room = true;
+        for (unsigned c : it->destCores) {
+            if (ports_[c].output.size() + result_words >
+                params_.outputQueueWords) {
+                room = false;
+                break;
+            }
+        }
+        if (!room) {
+            it->completeCycle = now + params_.coreCyclesPerSplCycle;
+            ++it;
+            continue;
+        }
+        if (it->isBarrier) {
+            std::vector<std::int32_t> result =
+                fn.isReduce() && it->inputs.size() > 1
+                    ? fn.evaluateReduce(it->inputs)
+                    : (fn.isReduce() ? it->inputs.front()
+                                     : fn.evaluate(it->inputs.front()));
+            for (unsigned c : it->destCores)
+                deliverOutput(c, result, it->completeCycle);
+        } else {
+            std::vector<std::int32_t> result =
+                fn.evaluate(it->inputs.front());
+            deliverOutput(it->destCores.front(), result,
+                          it->completeCycle);
+        }
+        it = inFlight_.erase(it);
+    }
+}
+
+Cycle
+SplFabric::configSwitchCost(Partition &part, ConfigId cfg,
+                            unsigned rows)
+{
+    auto it = std::find(part.residentCfgs.begin(),
+                        part.residentCfgs.end(), cfg);
+    if (it != part.residentCfgs.end()) {
+        // Already resident: refresh LRU position, no load cost.
+        part.residentCfgs.erase(it);
+        part.residentCfgs.push_back(cfg);
+        return 0;
+    }
+    if (part.residentCfgs.size() >=
+        params_.residentConfigsPerPartition)
+        part.residentCfgs.erase(part.residentCfgs.begin());
+    part.residentCfgs.push_back(cfg);
+    ++configSwitches;
+    return Cycle(rows) * params_.configLoadSplCyclesPerRow *
+           params_.coreCyclesPerSplCycle;
+}
+
+void
+SplFabric::acceptPending(Partition &part, Cycle now)
+{
+    if (now < part.nextAccept)
+        return;
+
+    // Barrier ops take priority (they gate many threads). A barrier op
+    // is handled by the partition containing its first core.
+    if (!barrierQueue_.empty()) {
+        InFlightOp &bop = barrierQueue_.front();
+        Partition &home = partitionOf(bop.srcCore);
+        if (&home == &part && bop.completeCycle <= now) {
+            const SplFunction &fn = configs_->get(bop.cfg);
+            unsigned rows = fn.isReduce()
+                ? fn.reduceRows(static_cast<unsigned>(
+                      bop.inputs.size()))
+                : fn.rows();
+            rows = std::max(rows, 1u);
+            Cycle start =
+                now + configSwitchCost(part, bop.cfg, fn.rows());
+            unsigned ii = (rows + part.rows - 1) / part.rows;
+            if (ii > 1)
+                ++virtualizedInits;
+            InFlightOp op = std::move(bop);
+            barrierQueue_.pop_front();
+            op.completeCycle = start +
+                Cycle(rows + params_.outputTransferSplCycles) *
+                    params_.coreCyclesPerSplCycle;
+            part.nextAccept = start +
+                Cycle(std::max(1u, ii)) *
+                    params_.coreCyclesPerSplCycle;
+            rowActivations += rows;
+            ++initiations;
+            ++barrierOps;
+            inFlight_.push_back(std::move(op));
+            return;
+        }
+    }
+
+    // Round-robin over the partition's cores for a ready initiation.
+    unsigned candidates = 0;
+    for (unsigned i = 0; i < part.numCores; ++i) {
+        unsigned c = part.firstCore + i;
+        if (!ports_[c].pending.empty() &&
+            ports_[c].pending.front().readyCycle <= now)
+            ++candidates;
+    }
+    if (candidates == 0)
+        return;
+    rrConflicts += candidates - 1;
+
+    for (unsigned i = 0; i < part.numCores; ++i) {
+        unsigned idx = (part.rrNext + i) % part.numCores;
+        unsigned c = part.firstCore + idx;
+        CorePort &port = ports_[c];
+        if (port.pending.empty() ||
+            port.pending.front().readyCycle > now)
+            continue;
+
+        PendingInit p = std::move(port.pending.front());
+        port.pending.pop_front();
+        part.rrNext = (idx + 1) % part.numCores;
+
+        const SplFunction &fn = configs_->get(p.cfg);
+        unsigned rows = std::max(fn.rows(), 1u);
+        Cycle start = now + configSwitchCost(part, p.cfg, rows);
+        unsigned ii = (rows + part.rows - 1) / part.rows;
+        if (ii > 1)
+            ++virtualizedInits;
+
+        InFlightOp op;
+        op.cfg = p.cfg;
+        op.srcCore = c;
+        unsigned dest = c;
+        if (p.destThread >= 0) {
+            auto d = threadTable_.coreOf(
+                static_cast<ThreadId>(p.destThread));
+            if (d)
+                dest = *d;
+        }
+        op.destCores = {dest};
+        op.inputs = {std::move(p.inputs)};
+        op.isBarrier = false;
+        op.completeCycle = start +
+            Cycle(rows + params_.outputTransferSplCycles) *
+                params_.coreCyclesPerSplCycle;
+        part.nextAccept = start +
+            Cycle(std::max(1u, ii)) * params_.coreCyclesPerSplCycle;
+        rowActivations += rows;
+        ++initiations;
+        inFlight_.push_back(std::move(op));
+        return;
+    }
+}
+
+void
+SplFabric::tick(Cycle now)
+{
+    if (now % params_.coreCyclesPerSplCycle != 0)
+        return;
+    completeOps(now);
+    for (Partition &part : partitions_)
+        acceptPending(part, now);
+}
+
+bool
+SplFabric::idle() const
+{
+    if (!inFlight_.empty() || !barrierQueue_.empty())
+        return false;
+    for (const CorePort &port : ports_)
+        if (!port.pending.empty())
+            return false;
+    return true;
+}
+
+} // namespace remap::spl

@@ -1,0 +1,284 @@
+#include "spl/function.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace remap::spl
+{
+
+namespace
+{
+
+std::int32_t
+applyOp(const WordOp &w, const std::vector<std::int32_t> &regs,
+        const std::vector<std::int32_t> &lut)
+{
+    const std::int32_t a = regs[w.a];
+    const std::int32_t b = regs[w.b];
+    switch (w.op) {
+      case WOp::Add:    return a + b;
+      case WOp::Sub:    return a - b;
+      case WOp::AddImm: return a + w.imm;
+      case WOp::Min:    return std::min(a, b);
+      case WOp::Max:    return std::max(a, b);
+      case WOp::MinImm: return std::min(a, w.imm);
+      case WOp::MaxImm: return std::max(a, w.imm);
+      case WOp::And:    return a & b;
+      case WOp::AndImm: return a & w.imm;
+      case WOp::Or:     return a | b;
+      case WOp::Xor:    return a ^ b;
+      case WOp::ShlImm:
+        return static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a) << (w.imm & 31));
+      case WOp::ShrImm:
+        return static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a) >> (w.imm & 31));
+      case WOp::SraImm: return a >> (w.imm & 31);
+      case WOp::ShlVar:
+        return static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a) << (b & 31));
+      case WOp::ShrVar:
+        return static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a) >> (b & 31));
+      case WOp::Mov:    return a;
+      case WOp::MovImm: return w.imm;
+      case WOp::CmpGe:  return (a >= b) ? ~0 : 0;
+      case WOp::CmpEq:  return (a == b) ? ~0 : 0;
+      case WOp::CmpGeImm: return (a >= w.imm) ? ~0 : 0;
+      case WOp::CmpEqImm: return (a == w.imm) ? ~0 : 0;
+      case WOp::Sel:    return regs[w.b] ? a : w.imm;
+      case WOp::Lut8:
+        REMAP_ASSERT(!lut.empty(), "Lut8 op without a table");
+        return lut[static_cast<std::uint32_t>(a) & 0xff];
+      case WOp::Abs:    return a < 0 ? -a : a;
+      case WOp::Mul:
+        return static_cast<std::int32_t>(
+            static_cast<std::int64_t>(a) * b);
+      case WOp::SadB4: {
+        std::int32_t s = 0;
+        for (int i = 0; i < 4; ++i) {
+            int av = (static_cast<std::uint32_t>(a) >> (8 * i)) &
+                     0xff;
+            int bv = (static_cast<std::uint32_t>(b) >> (8 * i)) &
+                     0xff;
+            s += av > bv ? av - bv : bv - av;
+        }
+        return s;
+      }
+    }
+    return 0;
+}
+
+} // namespace
+
+unsigned
+SplFunction::reduceRows(unsigned participants) const
+{
+    REMAP_ASSERT(reduce_, "reduceRows on non-reduce function");
+    if (participants <= 1)
+        return rows();
+    unsigned stages = 0;
+    unsigned n = participants;
+    while (n > 1) {
+        n = (n + 1) / 2;
+        ++stages;
+    }
+    return rows() * stages;
+}
+
+std::vector<std::int32_t>
+SplFunction::evaluate(const std::vector<std::int32_t> &inputs) const
+{
+    std::vector<std::int32_t> regs(maxRegs, 0);
+    const std::size_t n = std::min<std::size_t>(inputs.size(), maxRegs);
+    std::copy_n(inputs.begin(), n, regs.begin());
+
+    // Rows execute in order; within a row, all ops read pre-row
+    // register values (a row's cells operate in parallel).
+    for (const Row &r : rows_) {
+        std::vector<std::int32_t> next = regs;
+        for (const WordOp &w : r.ops)
+            next[w.dst] = applyOp(w, regs, lut_);
+        regs = std::move(next);
+    }
+
+    std::vector<std::int32_t> out;
+    out.reserve(outputRegs_.size());
+    for (std::uint8_t r : outputRegs_)
+        out.push_back(regs[r]);
+    return out;
+}
+
+std::vector<std::int32_t>
+SplFunction::evaluateReduce(
+    const std::vector<std::vector<std::int32_t>> &participant_inputs)
+    const
+{
+    REMAP_ASSERT(reduce_, "evaluateReduce on non-reduce function");
+    REMAP_ASSERT(!participant_inputs.empty(),
+                 "reduce needs at least one participant");
+    const unsigned words = numInputWords_ / 2;
+
+    std::vector<std::vector<std::int32_t>> level = participant_inputs;
+    while (level.size() > 1) {
+        std::vector<std::vector<std::int32_t>> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            std::vector<std::int32_t> in;
+            in.reserve(2 * words);
+            for (unsigned w = 0; w < words; ++w)
+                in.push_back(level[i][w]);
+            for (unsigned w = 0; w < words; ++w)
+                in.push_back(level[i + 1][w]);
+            next.push_back(evaluate(in));
+        }
+        if (level.size() % 2)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+FunctionBuilder::FunctionBuilder(std::string name,
+                                 unsigned num_input_words)
+{
+    REMAP_ASSERT(num_input_words <= SplFunction::maxRegs,
+                 "too many input words");
+    fn_.name_ = std::move(name);
+    fn_.numInputWords_ = num_input_words;
+}
+
+FunctionBuilder &
+FunctionBuilder::row()
+{
+    fn_.rows_.emplace_back();
+    rowOpen_ = true;
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::op(WOp o, std::uint8_t dst, std::uint8_t a,
+                    std::uint8_t b, std::int32_t imm)
+{
+    REMAP_ASSERT(rowOpen_, "op() before row()");
+    Row &r = fn_.rows_.back();
+    if (r.ops.size() >= Row::maxWordOpsPerRow)
+        REMAP_PANIC("row overpacked in SPL function '%s'",
+                    fn_.name_.c_str());
+    REMAP_ASSERT(dst < SplFunction::maxRegs &&
+                 a < SplFunction::maxRegs && b < SplFunction::maxRegs,
+                 "register index out of range");
+    r.ops.push_back(WordOp{o, dst, a, b, imm});
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::lut(std::vector<std::int32_t> table)
+{
+    REMAP_ASSERT(table.size() == 256, "Lut8 table must have 256 entries");
+    fn_.lut_ = std::move(table);
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::markReduce()
+{
+    fn_.reduce_ = true;
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::outputs(std::vector<std::uint8_t> regs)
+{
+    for (std::uint8_t r : regs)
+        REMAP_ASSERT(r < SplFunction::maxRegs,
+                     "output register out of range");
+    fn_.outputRegs_ = std::move(regs);
+    return *this;
+}
+
+SplFunction
+FunctionBuilder::build()
+{
+    REMAP_ASSERT(!fn_.outputRegs_.empty(),
+                 "SPL function has no outputs");
+    if (fn_.reduce_) {
+        REMAP_ASSERT(fn_.numInputWords_ % 2 == 0,
+                     "reduce combiner needs an even input word count");
+    }
+    return std::move(fn_);
+}
+
+namespace functions
+{
+
+SplFunction
+passthrough(unsigned words)
+{
+    FunctionBuilder b("passthrough", words);
+    std::vector<std::uint8_t> outs;
+    for (unsigned w = 0; w < words; ++w) {
+        if (w % Row::maxWordOpsPerRow == 0)
+            b.row();
+        b.op(WOp::Mov, static_cast<std::uint8_t>(w),
+             static_cast<std::uint8_t>(w));
+        outs.push_back(static_cast<std::uint8_t>(w));
+    }
+    return b.outputs(std::move(outs)).build();
+}
+
+SplFunction
+globalMin()
+{
+    return FunctionBuilder("global_min", 2)
+        .markReduce()
+        .row().op(WOp::Min, 0, 0, 1)
+        .outputs({0})
+        .build();
+}
+
+SplFunction
+globalMax()
+{
+    return FunctionBuilder("global_max", 2)
+        .markReduce()
+        .row().op(WOp::Max, 0, 0, 1)
+        .outputs({0})
+        .build();
+}
+
+SplFunction
+globalSum()
+{
+    return FunctionBuilder("global_sum", 2)
+        .markReduce()
+        .row().op(WOp::Add, 0, 0, 1)
+        .outputs({0})
+        .build();
+}
+
+SplFunction
+hmmerMc(std::int32_t neg_infty)
+{
+    // Inputs (Fig. 6): 0=mpp, 1=tpmm, 2=ip, 3=tpim, 4=dpp, 5=tpdm,
+    // 6=xmb, 7=bp, 8=ms. Ten rows matching the figure's structure:
+    // successive add/max stages, the ms addition, and the -INFTY clamp.
+    FunctionBuilder b("hmmer_mc", 9);
+    b.row().op(WOp::Add, 10, 0, 1)         // r1: mc = mpp + tpmm
+           .op(WOp::Add, 11, 2, 3);        //     sc = ip + tpim
+    b.row().op(WOp::Max, 10, 10, 11);      // r2: mc = max(mc, sc)
+    b.row().op(WOp::Add, 12, 4, 5);        // r3: sc = dpp + tpdm
+    b.row().op(WOp::Max, 10, 10, 12);      // r4: mc = max(mc, sc)
+    b.row().op(WOp::Add, 13, 6, 7);        // r5: sc = xmb + bp
+    b.row().op(WOp::Max, 10, 10, 13);      // r6: mc = max(mc, sc)
+    b.row().op(WOp::Add, 10, 10, 8);       // r7: mc += ms
+    b.row().op(WOp::MovImm, 14, 0, 0, neg_infty); // r8: stage -INFTY
+    b.row().op(WOp::Max, 10, 10, 14);      // r9: clamp low
+    b.row().op(WOp::Mov, 15, 10);          // r10: route to output
+    return b.outputs({15}).build();
+}
+
+} // namespace functions
+
+} // namespace remap::spl

@@ -1,0 +1,124 @@
+#include "workloads/inputs.hh"
+
+namespace remap::workloads
+{
+
+void
+storeI64Array(mem::MemoryImage &m, Addr base,
+              const std::vector<std::int64_t> &v)
+{
+    for (std::size_t i = 0; i < v.size(); ++i)
+        m.writeI64(base + i * 8, v[i]);
+}
+
+void
+storeI32Array(mem::MemoryImage &m, Addr base,
+              const std::vector<std::int32_t> &v)
+{
+    for (std::size_t i = 0; i < v.size(); ++i)
+        m.writeI32(base + i * 4, v[i]);
+}
+
+void
+storeU8Array(mem::MemoryImage &m, Addr base,
+             const std::vector<std::uint8_t> &v)
+{
+    for (std::size_t i = 0; i < v.size(); ++i)
+        m.writeU8(base + i, v[i]);
+}
+
+void
+storeF64Array(mem::MemoryImage &m, Addr base,
+              const std::vector<double> &v)
+{
+    for (std::size_t i = 0; i < v.size(); ++i)
+        m.writeF64(base + i * 8, v[i]);
+}
+
+std::vector<std::int64_t>
+loadI64Array(const mem::MemoryImage &m, Addr base, std::size_t n)
+{
+    std::vector<std::int64_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = m.readI64(base + i * 8);
+    return v;
+}
+
+std::vector<std::int32_t>
+loadI32Array(const mem::MemoryImage &m, Addr base, std::size_t n)
+{
+    std::vector<std::int32_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = m.readI32(base + i * 4);
+    return v;
+}
+
+std::vector<std::uint8_t>
+loadU8Array(const mem::MemoryImage &m, Addr base, std::size_t n)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = m.readU8(base + i);
+    return v;
+}
+
+std::vector<std::int32_t>
+randomI32(std::size_t n, std::int32_t lo, std::int32_t hi,
+          std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::int32_t> v(n);
+    for (auto &x : v)
+        x = static_cast<std::int32_t>(rng.range(lo, hi));
+    return v;
+}
+
+std::vector<std::uint8_t>
+randomU8(std::size_t n, std::uint8_t lo, std::uint8_t hi,
+         std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> v(n);
+    for (auto &x : v)
+        x = static_cast<std::uint8_t>(rng.range(lo, hi));
+    return v;
+}
+
+std::vector<std::uint8_t>
+textStream(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> v;
+    v.reserve(n);
+    while (v.size() < n) {
+        // A "word" of 1..9 letters...
+        std::uint64_t len = 1 + rng.below(9);
+        for (std::uint64_t i = 0; i < len && v.size() < n; ++i)
+            v.push_back(
+                static_cast<std::uint8_t>('a' + rng.below(26)));
+        if (v.size() >= n)
+            break;
+        // ...then 1..3 separators, occasionally a newline.
+        std::uint64_t gaps = 1 + rng.below(3);
+        for (std::uint64_t i = 0; i < gaps && v.size() < n; ++i)
+            v.push_back(rng.below(5) == 0 ? '\n' : ' ');
+    }
+    return v;
+}
+
+std::vector<std::int32_t>
+costMatrix(unsigned n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::int32_t> m(static_cast<std::size_t>(n) * n, 0);
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = i + 1; j < n; ++j) {
+            auto c = static_cast<std::int32_t>(rng.range(1, 100));
+            m[static_cast<std::size_t>(i) * n + j] = c;
+            m[static_cast<std::size_t>(j) * n + i] = c;
+        }
+    }
+    return m;
+}
+
+} // namespace remap::workloads

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Synthetic input generation and memory-layout helpers shared by the
+ * workload kernels. All generators are seeded deterministically so
+ * every experiment is bit-reproducible.
+ */
+
+#ifndef REMAP_WORKLOADS_INPUTS_HH
+#define REMAP_WORKLOADS_INPUTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory_image.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace remap::workloads
+{
+
+/** Bump allocator carving the workload data segment. */
+class AddrAllocator
+{
+  public:
+    explicit AddrAllocator(Addr base = 0x10000) : next_(base) {}
+
+    /** Allocate @p bytes aligned to @p align (power of two). */
+    Addr
+    alloc(std::size_t bytes, std::size_t align = 64)
+    {
+        next_ = (next_ + align - 1) & ~(Addr(align) - 1);
+        Addr a = next_;
+        next_ += bytes;
+        return a;
+    }
+
+  private:
+    Addr next_;
+};
+
+/** Write an int64 array into simulated memory. */
+void storeI64Array(mem::MemoryImage &m, Addr base,
+                   const std::vector<std::int64_t> &v);
+/** Write an int32 array into simulated memory. */
+void storeI32Array(mem::MemoryImage &m, Addr base,
+                   const std::vector<std::int32_t> &v);
+/** Write a byte array into simulated memory. */
+void storeU8Array(mem::MemoryImage &m, Addr base,
+                  const std::vector<std::uint8_t> &v);
+/** Write a double array into simulated memory. */
+void storeF64Array(mem::MemoryImage &m, Addr base,
+                   const std::vector<double> &v);
+
+/** Read back an int64 array. */
+std::vector<std::int64_t> loadI64Array(const mem::MemoryImage &m,
+                                       Addr base, std::size_t n);
+/** Read back an int32 array. */
+std::vector<std::int32_t> loadI32Array(const mem::MemoryImage &m,
+                                       Addr base, std::size_t n);
+/** Read back a byte array. */
+std::vector<std::uint8_t> loadU8Array(const mem::MemoryImage &m,
+                                      Addr base, std::size_t n);
+
+/** Uniform int32 values in [lo, hi]. */
+std::vector<std::int32_t> randomI32(std::size_t n, std::int32_t lo,
+                                    std::int32_t hi,
+                                    std::uint64_t seed);
+/** Uniform bytes in [lo, hi]. */
+std::vector<std::uint8_t> randomU8(std::size_t n, std::uint8_t lo,
+                                   std::uint8_t hi,
+                                   std::uint64_t seed);
+
+/**
+ * Text-like byte stream for `wc`: words of random length separated by
+ * spaces/newlines with irregular spacing (so the word/space branch is
+ * data-dependent, as in real text).
+ */
+std::vector<std::uint8_t> textStream(std::size_t n,
+                                     std::uint64_t seed);
+
+/**
+ * Random symmetric cost matrix for Dijkstra (n x n, int32), with
+ * costs in [1, 100]; diagonal zero.
+ */
+std::vector<std::int32_t> costMatrix(unsigned n, std::uint64_t seed);
+
+} // namespace remap::workloads
+
+#endif // REMAP_WORKLOADS_INPUTS_HH

@@ -1,0 +1,878 @@
+/**
+ * @file
+ * Barrier-synchronization workloads (Table III, bottom block):
+ * Livermore Loops 2, 3 and 6 and parallel Dijkstra, in Seq,
+ * SW-barrier, ReMAP-barrier and ReMAP-barrier+computation variants
+ * at 2/4/8/16 threads (Section V-C, Figs. 12-14).
+ *
+ * Multi-cluster runs (8/16 threads) follow Section III-B: the barrier
+ * with integrated computation produces *regional* results per
+ * cluster; a representative stores them, an extra barrier orders the
+ * stores, and a final barrier computes the global value from the
+ * regional ones.
+ */
+
+#include "workloads/kernels_comm_channel.hh"
+
+namespace remap::workloads
+{
+
+using detail::newRun;
+using isa::ProgramBuilder;
+using isa::RegIndex;
+
+namespace
+{
+
+/** System configuration for a barrier variant at @p threads. */
+sys::SystemConfig
+barrierConfig(Variant v, unsigned threads)
+{
+    switch (v) {
+      case Variant::Seq:
+        return sys::SystemConfig::ooo1Cluster(1);
+      case Variant::SwBarrier:
+        return sys::SystemConfig::ooo1Cluster(threads);
+      case Variant::HwBarrier:
+      case Variant::HwBarrierComp: {
+        unsigned clusters = (threads + 3) / 4;
+        return sys::SystemConfig::splClusters(clusters);
+      }
+      case Variant::HomogBarrier: {
+        // Section V-C.2: the SPL's area buys two more OOO1 cores
+        // plus a dedicated (zero-hardware-cost) barrier network,
+        // modelled as an ideal token fabric.
+        sys::SystemConfig cfg;
+        sys::ClusterConfig c;
+        c.coreType = cpu::CoreParams::ooo1();
+        c.numCores = threads;
+        c.hasSpl = true;
+        c.fabricIsIdealComm = true;
+        c.splParams.coresPerCluster = threads;
+        c.splParams.coreCyclesPerSplCycle = 1;
+        c.splParams.outputTransferSplCycles = 0;
+        c.splParams.configLoadSplCyclesPerRow = 0;
+        c.splParams.barrierBusLatency = 0;
+        cfg.clusters.push_back(c);
+        return cfg;
+      }
+      default:
+        REMAP_FATAL("variant %s invalid for a barrier workload",
+                    variantName(v));
+    }
+}
+
+bool
+isHw(Variant v)
+{
+    return v == Variant::HwBarrier || v == Variant::HwBarrierComp ||
+           v == Variant::HomogBarrier;
+}
+
+/** Common per-workload barrier plumbing: layouts, configs, ids. */
+struct BarrierKit
+{
+    Variant variant;
+    unsigned threads = 1;
+    unsigned clusters = 1;
+    // SW layouts (two distinct barriers to avoid sense aliasing
+    // between back-to-back episodes).
+    detail::SwBarrierLayout swA{}, swB{};
+    // Hw configs/ids.
+    ConfigId tokenCfg = 0;
+    ConfigId reduceCfg = 0;  ///< globalMin / globalSum combiner
+    ConfigId finalCfg = 0;   ///< minOf/sumOf(clusters)
+    static constexpr std::uint32_t barMain = 0;
+    static constexpr std::uint32_t barToken = 1;
+    static constexpr std::uint32_t barFinal = 2;
+    static constexpr std::uint32_t barAux = 3;
+
+    BarrierKit(PreparedRun &r, Variant v, unsigned p,
+               AddrAllocator &alloc,
+               const std::function<spl::SplFunction()> &reduce_fn,
+               const std::function<spl::SplFunction(unsigned)>
+                   &final_fn)
+        : variant(v), threads(p)
+    {
+        clusters = (p + 3) / 4;
+        if (v == Variant::SwBarrier) {
+            swA = detail::SwBarrierLayout::make(alloc);
+            swB = detail::SwBarrierLayout::make(alloc);
+        } else if (isHw(v)) {
+            tokenCfg = r.system->registerFunction(
+                spl::functions::passthrough(1));
+            if (v == Variant::HwBarrierComp) {
+                reduceCfg = r.system->registerFunction(reduce_fn());
+                if (clusters > 1)
+                    finalCfg = r.system->registerFunction(
+                        final_fn(clusters));
+            }
+            r.system->declareBarrier(barMain, p);
+            r.system->declareBarrier(barToken, p);
+            r.system->declareBarrier(barFinal, p);
+            r.system->declareBarrier(barAux, p);
+        }
+    }
+
+    /** Emit one-time setup for thread programs. */
+    void
+    init(ProgramBuilder &b) const
+    {
+        if (variant == Variant::SwBarrier)
+            detail::emitSwBarrierInit(b, swA, threads);
+    }
+
+    /** Emit one plain barrier episode.
+     *  @p which 0/1 alternates SW layouts; Hw uses distinct ids. */
+    void
+    plain(ProgramBuilder &b, const std::string &prefix,
+          unsigned which) const
+    {
+        if (variant == Variant::SwBarrier) {
+            const detail::SwBarrierLayout &l = which ? swB : swA;
+            b.li(52, static_cast<std::int64_t>(l.count))
+                .li(53, static_cast<std::int64_t>(l.sense));
+            // local sense per layout: use x50 for A, x57 for B
+            if (which) {
+                // swap in B's sense register
+                b.mv(58, 50).mv(50, 57);
+                detail::emitSwBarrier(b, prefix);
+                b.mv(57, 50).mv(50, 58);
+            } else {
+                detail::emitSwBarrier(b, prefix);
+            }
+        } else if (isHw(variant)) {
+            detail::emitHwBarrier(b, tokenCfg,
+                                  which ? barToken : barAux);
+        }
+    }
+};
+
+} // namespace
+
+// ------------------------------------------------------------------ //
+// Livermore Loops
+// ------------------------------------------------------------------ //
+
+namespace
+{
+
+/** LL3 golden: integer inner product. */
+std::int32_t
+ll3Golden(const std::vector<std::int32_t> &z,
+          const std::vector<std::int32_t> &x)
+{
+    std::int32_t q = 0;
+    for (std::size_t i = 0; i < z.size(); ++i)
+        q += z[i] * x[i];
+    return q;
+}
+
+PreparedRun
+makeLl3(const RunSpec &spec)
+{
+    const unsigned n = spec.problemSize ? spec.problemSize : 256;
+    const unsigned p =
+        spec.variant == Variant::Seq ? 1 : spec.threads;
+    const unsigned reps = spec.iterations ? spec.iterations : 10;
+    REMAP_ASSERT(n % p == 0, "ll3 size must divide by threads");
+
+    PreparedRun r = newRun("ll3", barrierConfig(spec.variant, p));
+    auto &m = r.system->memory();
+    AddrAllocator alloc;
+
+    auto z = randomI32(n, -100, 100, 0x113a);
+    auto x = randomI32(n, -100, 100, 0x113b);
+    const Addr za = alloc.alloc(n * 4);
+    const Addr xa = alloc.alloc(n * 4);
+    const Addr partials = alloc.alloc(p * 4, 64);
+    const Addr regionals = alloc.alloc(4 * 4, 64);
+    const Addr qa = alloc.alloc(reps * 4, 64);
+    storeI32Array(m, za, z);
+    storeI32Array(m, xa, x);
+    const std::int32_t gq = ll3Golden(z, x);
+
+    // LL3's +Comp also uses the fabric in compute mode (Fig. 1(a)):
+    // the per-thread MAC runs through ll3Mac4.
+    ConfigId macCfg = 0;
+    if (spec.variant == Variant::HwBarrierComp)
+        macCfg = r.system->registerFunction(ll3Mac4());
+
+    BarrierKit kit(r, spec.variant, p, alloc,
+                   [] { return spl::functions::globalSum(); },
+                   [](unsigned c) { return sumOf(c); });
+
+    for (unsigned t = 0; t < p; ++t) {
+        ProgramBuilder b("ll3_t" + std::to_string(t));
+        const unsigned lo = t * (n / p), hi = (t + 1) * (n / p);
+        b.li(10, static_cast<std::int64_t>(za) + lo * 4)
+            .li(11, static_cast<std::int64_t>(xa) + lo * 4)
+            .li(12, static_cast<std::int64_t>(partials))
+            .li(13, static_cast<std::int64_t>(qa))
+            .li(3, hi - lo)
+            .li(2, 0); // rep counter (x2)
+        kit.init(b);
+        b.label("rep");
+        b.li(5, reps).bge(2, 5, "reps_done");
+
+        // --- partial MAC over the slice ---
+        if (spec.variant == Variant::HwBarrierComp &&
+            (n / p) >= 8) {
+            // grouped MAC via the fabric, pipelined two deep
+            b.li(15, 0)   // acc
+                .li(1, 0) // produce group counter
+                .li(4, 0) // consume group counter
+                .li(6, (n / p) / 4);
+            auto stage = [&](ProgramBuilder &q, RegIndex ctr) {
+                q.slli(7, ctr, 4)
+                    .add(8, 10, 7)
+                    .lw(20, 8, 0)
+                    .lw(21, 8, 4)
+                    .lw(22, 8, 8)
+                    .lw(23, 8, 12)
+                    .add(8, 11, 7)
+                    .lw(24, 8, 0)
+                    .lw(25, 8, 4)
+                    .lw(26, 8, 8)
+                    .lw(27, 8, 12)
+                    .splLoad(20, 0)
+                    .splLoad(21, 1)
+                    .splLoad(22, 2)
+                    .splLoad(23, 3)
+                    .splLoad(24, 4)
+                    .splLoad(25, 5)
+                    .splLoad(26, 6)
+                    .splLoad(27, 7)
+                    .splInit(macCfg);
+            };
+            // prologue: two groups in flight
+            stage(b, 1);
+            b.addi(1, 1, 1);
+            b.blt(1, 6, "prologue2").j("prologue_done");
+            b.label("prologue2");
+            stage(b, 1);
+            b.addi(1, 1, 1);
+            b.label("prologue_done");
+            b.label("mac_loop").bge(4, 6, "mac_done");
+            b.bge(1, 6, "no_stage");
+            stage(b, 1);
+            b.addi(1, 1, 1);
+            b.label("no_stage");
+            b.splStore(9, 0).add(15, 15, 9).addi(4, 4, 1).j(
+                "mac_loop");
+            b.label("mac_done");
+        } else {
+            // scalar MAC
+            b.li(15, 0).li(1, 0);
+            b.label("mac_loop").bge(1, 3, "mac_done");
+            b.slli(7, 1, 2)
+                .add(8, 10, 7)
+                .lw(20, 8, 0)
+                .add(8, 11, 7)
+                .lw(21, 8, 0)
+                .mul(20, 20, 21)
+                .add(15, 15, 20)
+                .addi(1, 1, 1)
+                .j("mac_loop");
+            b.label("mac_done");
+        }
+
+        // --- combine ---
+        if (spec.variant == Variant::Seq) {
+            b.slli(7, 2, 2).add(8, 13, 7).sw(15, 8, 0);
+        } else if (spec.variant == Variant::HwBarrierComp) {
+            b.splLoad(15, 0).splBar(kit.reduceCfg, kit.barMain)
+                .splStore(16, 0); // regional (or global) sum
+            if (kit.clusters > 1) {
+                // representative (local core 0) stores the regional
+                if (t % 4 == 0) {
+                    b.li(8,
+                         static_cast<std::int64_t>(regionals) +
+                             (t / 4) * 4)
+                        .sw(16, 8, 0)
+                        .fence();
+                }
+                kit.plain(b, "ll3_tok", 1);
+                // final: every thread stages the regional values
+                b.li(8, static_cast<std::int64_t>(regionals));
+                for (unsigned c = 0; c < kit.clusters; ++c)
+                    b.lw(17, 8, 4 * c).splLoad(17, c);
+                b.splBar(kit.finalCfg, kit.barFinal)
+                    .splStore(16, 0);
+            }
+            if (t == 0)
+                b.slli(7, 2, 2).add(8, 13, 7).sw(16, 8, 0);
+        } else {
+            // SW / Hw barriers: partials + serial combine by t0
+            b.li(8, static_cast<std::int64_t>(partials) + t * 4)
+                .sw(15, 8, 0)
+                .fence();
+            kit.plain(b, "ll3_bar1", 0);
+            if (t == 0) {
+                b.li(16, 0).li(8,
+                               static_cast<std::int64_t>(partials));
+                for (unsigned u = 0; u < p; ++u)
+                    b.lw(17, 8, 4 * u).add(16, 16, 17);
+                b.slli(7, 2, 2).add(8, 13, 7).sw(16, 8, 0);
+            }
+            kit.plain(b, "ll3_bar2", 1);
+        }
+
+        b.addi(2, 2, 1).j("rep").label("reps_done").halt();
+        auto &th = r.system->createThread(r.addProgram(b.build()));
+        r.system->mapThread(th.id, t);
+    }
+
+    sys::System *sysp = r.system.get();
+    r.verify = [sysp, qa, reps, gq] {
+        for (unsigned rep = 0; rep < reps; ++rep)
+            if (sysp->memory().readI32(qa + 4 * rep) != gq)
+                return false;
+        return true;
+    };
+    r.workUnits = reps;
+    return r;
+}
+
+/**
+ * LL2 golden stage sweep over x (in place), element-exact.
+ *
+ * One modification for parallelizability: the last element of a
+ * stage reads x[ipntp], which the stage's first element writes. The
+ * parallel kernels snapshot that boundary value at stage start (all
+ * threads see the pre-stage value after the barrier), so the golden
+ * model does the same.
+ */
+void
+ll2Golden(std::vector<double> &x, const std::vector<double> &v,
+          unsigned n)
+{
+    long ii = n, ipntp = 0;
+    do {
+        long ipnt = ipntp;
+        ipntp += ii;
+        ii /= 2;
+        const double snapshot =
+            static_cast<std::size_t>(ipntp) < x.size() ? x[ipntp]
+                                                       : 0.0;
+        long i = ipntp - 1;
+        for (long k = ipnt + 1; k < ipntp; k += 2) {
+            ++i;
+            const double xk1 =
+                (k + 1 == ipntp) ? snapshot : x[k + 1];
+            x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * xk1;
+        }
+    } while (ii > 0);
+}
+
+PreparedRun
+makeLl2(const RunSpec &spec)
+{
+    const unsigned n = spec.problemSize ? spec.problemSize : 128;
+    REMAP_ASSERT((n & (n - 1)) == 0, "ll2 size must be a power of 2");
+    const unsigned p =
+        spec.variant == Variant::Seq ? 1 : spec.threads;
+    const unsigned reps = spec.iterations ? spec.iterations : 10;
+
+    PreparedRun r = newRun("ll2", barrierConfig(spec.variant, p));
+    auto &m = r.system->memory();
+    AddrAllocator alloc;
+
+    const unsigned len = 2 * n + 2;
+    std::vector<double> x(len), v(len);
+    for (unsigned j = 0; j < len; ++j) {
+        x[j] = ((int(j) % 13) - 6) * 0.25;
+        v[j] = (int(j) % 7) * 0.125;
+    }
+    const Addr xa = alloc.alloc(len * 8);
+    const Addr va = alloc.alloc(len * 8);
+    storeF64Array(m, xa, x);
+    storeF64Array(m, va, v);
+
+    // The ii==2 stage reads x[k+1] with k+1 == i, so repetitions are
+    // not idempotent; the golden model replays every repetition.
+    std::vector<double> gx = x;
+    for (unsigned rep = 0; rep < reps; ++rep)
+        ll2Golden(gx, v, n);
+
+    BarrierKit kit(r, spec.variant, p, alloc,
+                   [] { return spl::functions::globalMin(); },
+                   [](unsigned c) { return minOf(c); });
+
+    // Build-time stage list (ipnt/ipntp/count are compile-time for a
+    // given n), so each stage's boundary snapshot can be hoisted to
+    // the start of the repetition, before a rep-start barrier. That
+    // makes the snapshot reads race-free: no stage of the current
+    // repetition writes any boundary element before its own stage,
+    // and the rep-start barrier orders the reads against the writes.
+    struct StageDef
+    {
+        long ipnt, ipntp, count;
+    };
+    std::vector<StageDef> stageDefs;
+    {
+        long ii = n, ipntp = 0;
+        while (ii > 0) {
+            long ipnt = ipntp;
+            ipntp += ii;
+            ii /= 2;
+            stageDefs.push_back({ipnt, ipntp, ii});
+        }
+    }
+    REMAP_ASSERT(stageDefs.size() <= 12, "too many ll2 stages");
+
+    for (unsigned t = 0; t < p; ++t) {
+        ProgramBuilder b("ll2_t" + std::to_string(t));
+        // x10 x base, x11 v base, x2 rep, x1 e, x17 hi,
+        // f20+s = stage-s boundary snapshot, x5..x9 scratch
+        b.li(10, static_cast<std::int64_t>(xa))
+            .li(11, static_cast<std::int64_t>(va))
+            .li(2, 0);
+        kit.init(b);
+        b.label("rep");
+        b.li(5, reps).bge(2, 5, "reps_done");
+        // Snapshot every stage's boundary x[ipntp] (previous-rep
+        // values), then barrier before any of this rep's writes.
+        for (std::size_t s = 0; s < stageDefs.size(); ++s) {
+            b.li(5, static_cast<std::int64_t>(xa) +
+                        stageDefs[s].ipntp * 8)
+                .fld(static_cast<isa::RegIndex>(20 + s), 5, 0);
+        }
+        if (spec.variant != Variant::Seq)
+            kit.plain(b, "ll2_rep_bar", 0);
+
+        for (std::size_t s = 0; s < stageDefs.size(); ++s) {
+            const StageDef &st = stageDefs[s];
+            const long lo = st.count * t / p;
+            const long hi = st.count * (t + 1) / p;
+            const std::string loop = "e_loop_" + std::to_string(s);
+            const std::string done = "e_done_" + std::to_string(s);
+            const std::string snap = "snap_" + std::to_string(s);
+            const std::string have = "have_" + std::to_string(s);
+            b.li(1, lo).li(17, hi);
+            b.label(loop).bge(1, 17, done);
+            // k = ipnt + 1 + 2e ; i = ipntp + e
+            b.slli(5, 1, 1)
+                .addi(5, 5, st.ipnt + 1) // k
+                .slli(7, 5, 3)
+                .add(8, 10, 7)
+                .fld(1, 8, 0)     // f1 = x[k]
+                .fld(4, 8, -8)    // f4 = x[k-1]
+                .add(8, 11, 7)
+                .fld(2, 8, 0)     // f2 = v[k]
+                .fld(3, 8, 8);    // f3 = v[k+1]
+            // f5 = x[k+1], or the snapshot when e == count-1
+            b.li(9, st.count - 1)
+                .beq(1, 9, snap)
+                .add(8, 10, 7)
+                .fld(5, 8, 8)
+                .j(have)
+                .label(snap)
+                .fmv(5, static_cast<isa::RegIndex>(20 + s))
+                .label(have);
+            b.fmul(2, 2, 4)       // v[k]*x[k-1]
+                .fmul(3, 3, 5)    // v[k+1]*x[k+1]
+                .fsub(1, 1, 2)
+                .fsub(1, 1, 3)
+                .addi(6, 1, st.ipntp) // i
+                .slli(7, 6, 3)
+                .add(8, 10, 7)
+                .fsd(1, 8, 0)     // x[i]
+                .addi(1, 1, 1)
+                .j(loop);
+            b.label(done);
+            if (spec.variant != Variant::Seq)
+                kit.plain(b, "ll2_bar_" + std::to_string(s), 0);
+        }
+        b.addi(2, 2, 1).j("rep").label("reps_done").halt();
+        auto &th = r.system->createThread(r.addProgram(b.build()));
+        r.system->mapThread(th.id, t);
+    }
+
+    sys::System *sysp = r.system.get();
+    const unsigned total = len;
+    r.verify = [sysp, xa, gx, total] {
+        for (unsigned j = 0; j < total; ++j)
+            if (sysp->memory().readF64(xa + 8 * j) != gx[j])
+                return false;
+        return true;
+    };
+    r.workUnits = reps;
+    return r;
+}
+
+/** LL6 golden with the run's thread split (FP order matters). */
+std::vector<double>
+ll6Golden(const std::vector<double> &winit,
+          const std::vector<double> &bmat, unsigned n, unsigned p)
+{
+    std::vector<double> w = winit;
+    for (unsigned i = 1; i < n; ++i) {
+        std::vector<double> partials(p, 0.0);
+        for (unsigned t = 0; t < p; ++t) {
+            unsigned lo = (i * t) / p, hi = (i * (t + 1)) / p;
+            double s = 0.0;
+            for (unsigned k = lo; k < hi; ++k)
+                s += bmat[std::size_t(k) * n + i] * w[i - k - 1];
+            partials[t] = s;
+        }
+        double total = 0.0;
+        for (unsigned t = 0; t < p; ++t)
+            total += partials[t];
+        w[i] = winit[i] + total;
+    }
+    return w;
+}
+
+PreparedRun
+makeLl6(const RunSpec &spec)
+{
+    const unsigned n = spec.problemSize ? spec.problemSize : 64;
+    const unsigned p =
+        spec.variant == Variant::Seq ? 1 : spec.threads;
+    const unsigned reps = spec.iterations ? spec.iterations : 4;
+
+    PreparedRun r = newRun("ll6", barrierConfig(spec.variant, p));
+    auto &m = r.system->memory();
+    AddrAllocator alloc;
+
+    std::vector<double> winit(n), bmat(std::size_t(n) * n);
+    for (unsigned i = 0; i < n; ++i)
+        winit[i] = ((int(i) % 9) - 4) * 0.125;
+    for (std::size_t j = 0; j < bmat.size(); ++j)
+        bmat[j] = ((int(j) % 5) - 2) * 0.0625;
+    const Addr wa = alloc.alloc(n * 8);
+    const Addr wia = alloc.alloc(n * 8);
+    const Addr ba = alloc.alloc(bmat.size() * 8);
+    const Addr fpart = alloc.alloc(p * 8, 64);
+    storeF64Array(m, wa, winit);
+    storeF64Array(m, wia, winit);
+    storeF64Array(m, ba, bmat);
+
+    auto gw = ll6Golden(winit, bmat, n, p);
+
+    BarrierKit kit(r, spec.variant, p, alloc,
+                   [] { return spl::functions::globalMin(); },
+                   [](unsigned c) { return minOf(c); });
+
+    for (unsigned t = 0; t < p; ++t) {
+        ProgramBuilder b("ll6_t" + std::to_string(t));
+        // x10 w, x11 b, x12 winit, x13 fpart, x17 n, x2 rep, x1 i,
+        // x4 k, x15 lo, x16 hi
+        b.li(10, static_cast<std::int64_t>(wa))
+            .li(11, static_cast<std::int64_t>(ba))
+            .li(12, static_cast<std::int64_t>(wia))
+            .li(13, static_cast<std::int64_t>(fpart))
+            .li(17, n)
+            .li(2, 0);
+        kit.init(b);
+        b.label("rep");
+        b.li(5, reps).bge(2, 5, "reps_done");
+        b.li(1, 1);
+        b.label("i_loop").bge(1, 17, "i_done");
+        // slice of k in [0, i)
+        b.li(6, t)
+            .mul(15, 1, 6)
+            .li(6, p)
+            .div(15, 15, 6)
+            .li(6, t + 1)
+            .mul(16, 1, 6)
+            .li(6, p)
+            .div(16, 16, 6);
+        // partial = sum b[k*n+i] * w[i-k-1]
+        b.fcvtI2F(10, 0) // f10 = 0.0 accumulator
+            .mv(4, 15);
+        b.label("k_loop").bge(4, 16, "k_done");
+        b.mul(7, 4, 17)
+            .add(7, 7, 1)
+            .slli(7, 7, 3)
+            .add(8, 11, 7)
+            .fld(2, 8, 0)     // b[k*n+i]
+            .sub(7, 1, 4)
+            .addi(7, 7, -1)
+            .slli(7, 7, 3)
+            .li(8, static_cast<std::int64_t>(wa))
+            .add(8, 8, 7)
+            .fld(3, 8, 0)     // w[i-k-1]
+            .fmul(2, 2, 3)
+            .fadd(10, 10, 2)
+            .addi(4, 4, 1)
+            .j("k_loop");
+        b.label("k_done");
+        if (spec.variant == Variant::Seq) {
+            // w[i] = winit[i] + partial
+            b.slli(7, 1, 3)
+                .add(8, 12, 7)
+                .fld(4, 8, 0)
+                .fadd(4, 4, 10)
+                .li(8, static_cast<std::int64_t>(wa))
+                .add(8, 8, 7)
+                .fsd(4, 8, 0);
+        } else {
+            b.li(8, static_cast<std::int64_t>(fpart) + t * 8)
+                .fsd(10, 8, 0)
+                .fence();
+            kit.plain(b, "ll6_bar1", 0);
+            if (t == 0) {
+                b.fcvtI2F(11, 0); // f11 = 0.0
+                b.li(8, static_cast<std::int64_t>(fpart));
+                for (unsigned u = 0; u < p; ++u)
+                    b.fld(2, 8, 8 * u).fadd(11, 11, 2);
+                b.slli(7, 1, 3)
+                    .add(8, 12, 7)
+                    .fld(4, 8, 0)
+                    .fadd(4, 4, 11)
+                    .li(8, static_cast<std::int64_t>(wa))
+                    .add(8, 8, 7)
+                    .fsd(4, 8, 0)
+                    .fence();
+            }
+            kit.plain(b, "ll6_bar2", 1);
+        }
+        b.addi(1, 1, 1).j("i_loop").label("i_done");
+        b.addi(2, 2, 1).j("rep").label("reps_done").halt();
+        auto &th = r.system->createThread(r.addProgram(b.build()));
+        r.system->mapThread(th.id, t);
+    }
+
+    sys::System *sysp = r.system.get();
+    r.verify = [sysp, wa, gw] {
+        for (std::size_t j = 0; j < gw.size(); ++j)
+            if (sysp->memory().readF64(wa + 8 * j) != gw[j])
+                return false;
+        return true;
+    };
+    r.workUnits = reps;
+    return r;
+}
+
+} // namespace
+
+PreparedRun
+makeLivermore(const RunSpec &spec, unsigned loop_number)
+{
+    switch (loop_number) {
+      case 2:
+        return makeLl2(spec);
+      case 3:
+        return makeLl3(spec);
+      case 6:
+        return makeLl6(spec);
+      default:
+        REMAP_FATAL("unsupported Livermore loop %u", loop_number);
+    }
+}
+
+// ------------------------------------------------------------------ //
+// Dijkstra's shortest-path algorithm (Fig. 7 of the paper)
+// ------------------------------------------------------------------ //
+
+namespace
+{
+
+constexpr std::int32_t dijInf = 1000000000;
+constexpr std::int32_t dijInfKey = 1 << 30;
+
+/** Golden Dijkstra with packed-key (dist<<8 | idx) argmin. */
+std::vector<std::int32_t>
+dijkstraGolden(const std::vector<std::int32_t> &cost, unsigned n)
+{
+    std::vector<std::int32_t> dist(n, dijInf);
+    std::vector<bool> visited(n, false);
+    dist[0] = 0;
+    for (unsigned it = 0; it + 1 < n; ++it) {
+        std::int32_t best = dijInfKey;
+        for (unsigned i = 0; i < n; ++i) {
+            if (visited[i] || dist[i] >= 100000000)
+                continue;
+            std::int32_t key = (dist[i] << 8) | std::int32_t(i);
+            best = std::min(best, key);
+        }
+        if (best == dijInfKey)
+            break;
+        unsigned gidx = best & 255;
+        std::int32_t gdist = best >> 8;
+        visited[gidx] = true;
+        for (unsigned i = 0; i < n; ++i) {
+            if (visited[i])
+                continue;
+            std::int32_t nd =
+                gdist + cost[std::size_t(gidx) * n + i];
+            if (nd < dist[i])
+                dist[i] = nd;
+        }
+    }
+    return dist;
+}
+
+} // namespace
+
+PreparedRun
+makeDijkstra(const RunSpec &spec)
+{
+    const unsigned n = spec.problemSize ? spec.problemSize : 100;
+    REMAP_ASSERT(n <= 256, "dijkstra packs node ids into 8 bits");
+    const unsigned p =
+        spec.variant == Variant::Seq ? 1 : spec.threads;
+    REMAP_ASSERT(n % p == 0, "dijkstra size must divide by threads");
+
+    PreparedRun r =
+        newRun("dijkstra", barrierConfig(spec.variant, p));
+    auto &m = r.system->memory();
+    AddrAllocator alloc;
+
+    auto cost = costMatrix(n, 0xd173);
+    const Addr costA = alloc.alloc(cost.size() * 4);
+    const Addr distA = alloc.alloc(n * 4, 64);
+    const Addr visA = alloc.alloc(n * 4, 64);
+    const Addr lmins = alloc.alloc(p * 4, 64);
+    const Addr regionals = alloc.alloc(4 * 4, 64);
+    const Addr gminA = alloc.alloc(64, 64);
+    storeI32Array(m, costA, cost);
+    {
+        std::vector<std::int32_t> d(n, dijInf);
+        d[0] = 0;
+        storeI32Array(m, distA, d);
+    }
+
+    auto gdist = dijkstraGolden(cost, n);
+
+    BarrierKit kit(r, spec.variant, p, alloc,
+                   [] { return spl::functions::globalMin(); },
+                   [](unsigned c) { return minOf(c); });
+
+    for (unsigned t = 0; t < p; ++t) {
+        ProgramBuilder b("dij_t" + std::to_string(t));
+        const unsigned lo = t * (n / p), hi = (t + 1) * (n / p);
+        // x10 dist, x11 visited, x12 cost, x17 n, x18 INFKEY,
+        // x19 gkey, x20 gidx, x21 gdist, x22 best, x1 iter, x2 i
+        b.li(10, static_cast<std::int64_t>(distA))
+            .li(11, static_cast<std::int64_t>(visA))
+            .li(12, static_cast<std::int64_t>(costA))
+            .li(17, n)
+            .li(18, dijInfKey)
+            .li(1, 0);
+        kit.init(b);
+        b.label("iter");
+        b.li(5, std::int64_t(n) - 1).bge(1, 5, "iters_done");
+
+        // --- local min scan over [lo, hi) ---
+        b.mv(22, 18).li(2, lo);
+        b.label("scan");
+        b.li(5, hi).bge(2, 5, "scan_done");
+        b.slli(6, 2, 2)
+            .add(7, 11, 6)
+            .lw(8, 7, 0)         // visited[i]
+            .bne(8, 0, "scan_next")
+            .add(7, 10, 6)
+            .lw(8, 7, 0)         // dist[i]
+            .li(9, 100000000)
+            .bge(8, 9, "scan_next")
+            .slli(8, 8, 8)
+            .or_(8, 8, 2)        // key
+            .bge(8, 22, "scan_next")
+            .mv(22, 8)
+            .label("scan_next")
+            .addi(2, 2, 1)
+            .j("scan");
+        b.label("scan_done");
+
+        // --- global min ---
+        if (spec.variant == Variant::Seq) {
+            b.mv(19, 22);
+        } else if (spec.variant == Variant::HwBarrierComp) {
+            b.splLoad(22, 0)
+                .splBar(kit.reduceCfg, kit.barMain)
+                .splStore(19, 0); // regional (or global) min key
+            if (kit.clusters > 1) {
+                if (t % 4 == 0) {
+                    b.li(8,
+                         static_cast<std::int64_t>(regionals) +
+                             (t / 4) * 4)
+                        .sw(19, 8, 0)
+                        .fence();
+                }
+                kit.plain(b, "dij_tok", 1);
+                b.li(8, static_cast<std::int64_t>(regionals));
+                for (unsigned c = 0; c < kit.clusters; ++c)
+                    b.lw(9, 8, 4 * c).splLoad(9, c);
+                b.splBar(kit.finalCfg, kit.barFinal)
+                    .splStore(19, 0);
+            }
+        } else {
+            b.li(8, static_cast<std::int64_t>(lmins) + t * 4)
+                .sw(22, 8, 0)
+                .fence();
+            kit.plain(b, "dij_bar1", 0);
+            if (t == 0) {
+                unsigned lbl = 0;
+                b.mv(19, 18).li(8,
+                                static_cast<std::int64_t>(lmins));
+                for (unsigned u = 0; u < p; ++u) {
+                    b.lw(9, 8, 4 * u);
+                    const std::string l =
+                        "dij_gmin_" + std::to_string(lbl++);
+                    b.bge(9, 19, l).mv(19, 9).label(l);
+                }
+                b.li(8, static_cast<std::int64_t>(gminA))
+                    .sw(19, 8, 0)
+                    .fence();
+            }
+            kit.plain(b, "dij_bar2", 1);
+            b.li(8, static_cast<std::int64_t>(gminA)).lw(19, 8, 0);
+        }
+
+        // --- decode + removeMin + relax ---
+        b.andi(20, 19, 255)      // gidx
+            .srai(21, 19, 8);    // gdist
+        {
+            // if gidx in [lo,hi): visited[gidx] = 1
+            b.li(5, lo)
+                .blt(20, 5, "not_mine")
+                .li(5, hi)
+                .bge(20, 5, "not_mine")
+                .slli(6, 20, 2)
+                .add(7, 11, 6)
+                .li(8, 1)
+                .sw(8, 7, 0)
+                .label("not_mine")
+                .fence();
+        }
+        // update distances for the slice
+        b.li(2, lo);
+        b.label("upd");
+        b.li(5, hi).bge(2, 5, "upd_done");
+        b.slli(6, 2, 2)
+            .add(7, 11, 6)
+            .lw(8, 7, 0)
+            .bne(8, 0, "upd_next")
+            .mul(9, 20, 17)
+            .add(9, 9, 2)
+            .slli(9, 9, 2)
+            .add(9, 12, 9)
+            .lw(9, 9, 0)         // cost[gidx*n + i]
+            .add(9, 9, 21)       // nd
+            .add(7, 10, 6)
+            .lw(8, 7, 0)         // dist[i]
+            .bge(9, 8, "upd_next")
+            .sw(9, 7, 0)
+            .label("upd_next")
+            .addi(2, 2, 1)
+            .j("upd");
+        b.label("upd_done");
+
+        b.addi(1, 1, 1).j("iter").label("iters_done").halt();
+        auto &th = r.system->createThread(r.addProgram(b.build()));
+        r.system->mapThread(th.id, t);
+    }
+
+    sys::System *sysp = r.system.get();
+    r.verify = [sysp, distA, gdist] {
+        return loadI32Array(sysp->memory(), distA, gdist.size()) ==
+               gdist;
+    };
+    r.workUnits = n - 1;
+    return r;
+}
+
+} // namespace remap::workloads

@@ -1,0 +1,87 @@
+#include "workloads/kernels_common.hh"
+
+namespace remap::workloads::detail
+{
+
+void
+emitSwBarrierInit(isa::ProgramBuilder &b, const SwBarrierLayout &l,
+                  unsigned total)
+{
+    b.li(50, 0)
+        .li(51, 1)
+        .li(52, static_cast<std::int64_t>(l.count))
+        .li(53, static_cast<std::int64_t>(l.sense))
+        .li(54, static_cast<std::int64_t>(total) - 1);
+}
+
+void
+emitSwBarrier(isa::ProgramBuilder &b, const std::string &prefix)
+{
+    const std::string wait = prefix + "_wait";
+    const std::string done = prefix + "_done";
+    b.xori(50, 50, 1)          // flip local sense
+        .amoadd(55, 52, 51)    // old = count++
+        .bne(55, 54, wait)
+        .sd(0, 52, 0)          // last thread: count = 0
+        .fence()
+        .sd(50, 53, 0)         // publish sense
+        .j(done)
+        .label(wait)
+        .ld(56, 53, 0)
+        .bne(56, 50, wait)
+        .label(done)
+        .fence();
+}
+
+void
+emitHwBarrier(isa::ProgramBuilder &b, std::int64_t token_cfg,
+              std::uint32_t barrier_id)
+{
+    b.splLoad(0, 0)                       // stage a zero word
+        .splBar(token_cfg, barrier_id)    // arrive
+        .splStore(55, 0)                  // pop release token
+        .fence();
+}
+
+PreparedRun
+newRun(std::string name, const sys::SystemConfig &config)
+{
+    PreparedRun r;
+    r.name = std::move(name);
+    r.system = std::make_unique<sys::System>(config);
+    return r;
+}
+
+sys::SystemConfig
+commVariantConfig(Variant v)
+{
+    switch (v) {
+      case Variant::Seq:
+        return sys::SystemConfig::ooo1Cluster(1);
+      case Variant::SeqOoo2:
+        return sys::SystemConfig::ooo2Cluster(1);
+      case Variant::Comp:
+        // Communicating workloads see half the fabric (Section V-A):
+        // partition in two even for the single-thread analysis.
+        return sys::SystemConfig::splCluster(/*partitions=*/2);
+      case Variant::Comm:
+      case Variant::CompComm:
+        return sys::SystemConfig::splCluster(/*partitions=*/2);
+      case Variant::Ooo2Comm:
+        return sys::SystemConfig::ooo2Comm(2);
+      case Variant::SwQueue:
+        return sys::SystemConfig::ooo1Cluster(2);
+      default:
+        REMAP_FATAL("variant %s is not a communicating variant",
+                    variantName(v));
+    }
+}
+
+bool
+isPairVariant(Variant v)
+{
+    return v == Variant::Comm || v == Variant::CompComm ||
+           v == Variant::Ooo2Comm || v == Variant::SwQueue;
+}
+
+} // namespace remap::workloads::detail

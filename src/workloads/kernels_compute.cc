@@ -1,0 +1,894 @@
+/**
+ * @file
+ * Computation-only workloads (Table III, top block): the optimized
+ * function of each benchmark, as a sequential mini-ISA kernel and as
+ * an SPL-accelerated version (Fig. 1(a) usage). SPL versions are
+ * software-pipelined: a few initiations stay in flight so the
+ * fabric's pipelined rows are kept busy, as the paper's decoupled
+ * queue interface intends.
+ */
+
+#include <cstdlib>
+
+#include "workloads/kernels_common.hh"
+#include "workloads/spl_functions.hh"
+
+namespace remap::workloads
+{
+
+using detail::newRun;
+using isa::ProgramBuilder;
+
+namespace
+{
+
+/** System config for a compute-only variant. */
+sys::SystemConfig
+computeConfig(Variant v)
+{
+    switch (v) {
+      case Variant::Seq:
+        return sys::SystemConfig::ooo1Cluster(1);
+      case Variant::SeqOoo2:
+        return sys::SystemConfig::ooo2Cluster(1);
+      case Variant::Comp:
+        return sys::SystemConfig::splCluster(/*partitions=*/1);
+      default:
+        REMAP_FATAL("variant %s invalid for a compute-only workload",
+                    variantName(v));
+    }
+}
+
+unsigned
+computeCopies(const RunSpec &spec)
+{
+    if (spec.variant != Variant::Comp)
+        return 1;
+    REMAP_ASSERT(spec.copies >= 1 && spec.copies <= 4,
+                 "compute-only copies must be 1..4");
+    return spec.copies;
+}
+
+/** Golden g721 fmult (matches g721Fmult() bit-exactly). */
+std::int32_t
+goldenFmult(std::int32_t an, std::int32_t srn)
+{
+    std::int32_t m1 = (an < 0 ? -an : an) & 8191;
+    std::int32_t m2 = (srn < 0 ? -srn : srn) & 8191;
+    std::int32_t e1 = expLut()[m1 >> 5];
+    std::int32_t e2 = expLut()[m2 >> 5];
+    std::int32_t p = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(m1) >> e1) *
+        static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(m2) >> e2);
+    std::int32_t e = (e1 + e2) >> 1;
+    std::int32_t f = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(p) << (e & 31));
+    std::int32_t sgn = (an ^ srn) >> 31;
+    return (f ^ sgn) - sgn;
+}
+
+/** Emit the software-pipelined SPL driving pattern.
+ *
+ * @p produce emits code that loads iteration (x1)'s inputs and
+ * issues spl_load/spl_init; @p consume emits code that pops results
+ * for iteration (x2) and stores them. x1/x2 are the produce/consume
+ * counters, x3 the total count, pipeline depth @p depth.
+ */
+void
+emitPipelined(ProgramBuilder &b, unsigned depth,
+              const std::function<void(ProgramBuilder &)> &produce,
+              const std::function<void(ProgramBuilder &)> &consume)
+{
+    b.li(1, 0).li(2, 0);
+    // Prologue: up to `depth` initiations in flight.
+    for (unsigned i = 0; i < depth; ++i) {
+        const std::string skip =
+            "pipe_prologue_skip_" + std::to_string(i);
+        b.bge(1, 3, skip);
+        produce(b);
+        b.addi(1, 1, 1);
+        b.label(skip);
+    }
+    b.label("pipe_loop").bge(2, 3, "pipe_done");
+    {
+        const std::string skip = "pipe_loop_noprod";
+        b.bge(1, 3, skip);
+        produce(b);
+        b.addi(1, 1, 1);
+        b.label(skip);
+    }
+    consume(b);
+    b.addi(2, 2, 1).j("pipe_loop").label("pipe_done").halt();
+}
+
+} // namespace
+
+// ------------------------------------------------------------------ //
+// g721 encode/decode: fmult
+// ------------------------------------------------------------------ //
+
+PreparedRun
+makeG721(const RunSpec &spec, bool encode)
+{
+    const unsigned n =
+        spec.iterations ? spec.iterations : 4000;
+    const unsigned copies = computeCopies(spec);
+    PreparedRun r = newRun(encode ? "g721enc" : "g721dec",
+                           computeConfig(spec.variant));
+    auto &m = r.system->memory();
+    AddrAllocator alloc;
+
+    const Addr lut = alloc.alloc(256 * 4);
+    storeI32Array(m, lut, expLut());
+
+    ConfigId cfg = 0;
+    if (spec.variant == Variant::Comp)
+        cfg = r.system->registerFunction(g721Fmult());
+
+    struct Check
+    {
+        Addr out;
+        std::vector<std::int32_t> expect;
+    };
+    auto checks = std::make_shared<std::vector<Check>>();
+
+    for (unsigned copy = 0; copy < copies; ++copy) {
+        const std::uint64_t seed =
+            (encode ? 0x721e : 0x721d) + copy * 97;
+        auto a = randomI32(n, -8191, 8191, seed);
+        auto s = randomI32(n, -8191, 8191, seed + 1);
+        const Addr aa = alloc.alloc(n * 4);
+        const Addr sa = alloc.alloc(n * 4);
+        const Addr oa = alloc.alloc(n * 4);
+        storeI32Array(m, aa, a);
+        storeI32Array(m, sa, s);
+
+        std::vector<std::int32_t> expect(n);
+        for (unsigned i = 0; i < n; ++i)
+            expect[i] = goldenFmult(a[i], s[i]);
+        checks->push_back({oa, std::move(expect)});
+
+        ProgramBuilder b(r.name + "_" +
+                         variantName(spec.variant));
+        // x10=a ptr, x11=s ptr, x12=out ptr, x3=n
+        b.li(10, static_cast<std::int64_t>(aa))
+            .li(11, static_cast<std::int64_t>(sa))
+            .li(12, static_cast<std::int64_t>(oa))
+            .li(3, n);
+
+        if (spec.variant == Variant::Comp) {
+            auto produce = [&](ProgramBuilder &p) {
+                p.slli(4, 1, 2)
+                    .add(5, 10, 4)
+                    .splLoadM(5, 0, 0)  // an -> input queue
+                    .add(5, 11, 4)
+                    .splLoadM(5, 0, 1)  // srn -> input queue
+                    .splInit(cfg);
+            };
+            auto consume = [&](ProgramBuilder &p) {
+                p.slli(4, 2, 2)
+                    .add(5, 12, 4)
+                    .splStoreM(5, 0);   // output queue -> memory
+            };
+            emitPipelined(b, 3, produce, consume);
+        } else {
+            // x13 = lut base, x20.. scratch
+            b.li(13, static_cast<std::int64_t>(lut)).li(1, 0);
+            b.label("loop")
+                .bge(1, 3, "done")
+                .slli(4, 1, 2)
+                .add(5, 10, 4)
+                .lw(6, 5, 0)          // an
+                .add(5, 11, 4)
+                .lw(7, 5, 0)          // srn
+                // m1 = abs(an) & 8191; m2 likewise
+                .sub(20, 0, 6)
+                .max(20, 20, 6)
+                .andi(20, 20, 8191)
+                .sub(21, 0, 7)
+                .max(21, 21, 7)
+                .andi(21, 21, 8191)
+                // e1 = lut[m1>>5]; e2 = lut[m2>>5]
+                .srli(22, 20, 5)
+                .slli(22, 22, 2)
+                .add(22, 22, 13)
+                .lw(22, 22, 0)
+                .srli(23, 21, 5)
+                .slli(23, 23, 2)
+                .add(23, 23, 13)
+                .lw(23, 23, 0)
+                // p = (m1>>e1)*(m2>>e2)
+                .srl(24, 20, 22)
+                .srl(25, 21, 23)
+                .mul(24, 24, 25)
+                // f = p << ((e1+e2)>>1)
+                .add(26, 22, 23)
+                .srai(26, 26, 1)
+                .sll(24, 24, 26)
+                // 32-bit wrap to match the fabric's word width
+                .slli(24, 24, 32)
+                .srai(24, 24, 32)
+                // sign fold
+                .xor_(27, 6, 7)
+                .srai(27, 27, 31)
+                .xor_(24, 24, 27)
+                .sub(24, 24, 27)
+                .slli(24, 24, 32)
+                .srai(24, 24, 32)
+                .slli(4, 1, 2)
+                .add(5, 12, 4)
+                .sw(24, 5, 0)
+                .addi(1, 1, 1)
+                .j("loop")
+                .label("done")
+                .halt();
+        }
+
+        isa::Program *prog = r.addProgram(b.build());
+        auto &t = r.system->createThread(prog);
+        r.system->mapThread(t.id, copy);
+    }
+
+    sys::System *sysp = r.system.get();
+    r.verify = [checks, sysp] {
+        for (const auto &c : *checks) {
+            auto got = loadI32Array(sysp->memory(), c.out,
+                                    c.expect.size());
+            if (got != c.expect)
+                return false;
+        }
+        return true;
+    };
+    r.workUnits = static_cast<double>(n) * copies;
+    return r;
+}
+
+// ------------------------------------------------------------------ //
+// mpeg2dec: chroma upconversion
+// ------------------------------------------------------------------ //
+
+PreparedRun
+makeMpeg2Dec(const RunSpec &spec)
+{
+    const unsigned n = spec.iterations ? spec.iterations : 8000;
+    REMAP_ASSERT(n % 4 == 0, "mpeg2dec size must be a multiple of 4");
+    const unsigned copies = computeCopies(spec);
+    PreparedRun r = newRun("mpeg2dec", computeConfig(spec.variant));
+    auto &m = r.system->memory();
+    AddrAllocator alloc;
+
+    ConfigId cfg = 0;
+    if (spec.variant == Variant::Comp)
+        cfg = r.system->registerFunction(mpeg2Interp4());
+
+    struct Check
+    {
+        Addr out;
+        std::vector<std::uint8_t> expect;
+    };
+    auto checks = std::make_shared<std::vector<Check>>();
+
+    for (unsigned copy = 0; copy < copies; ++copy) {
+        auto cur = randomU8(n, 0, 255, 0x2de0 + copy);
+        auto prev = randomU8(n, 0, 255, 0x2de1 + copy);
+        const Addr ca = alloc.alloc(n);
+        const Addr pa = alloc.alloc(n);
+        const Addr oa = alloc.alloc(n);
+        storeU8Array(m, ca, cur);
+        storeU8Array(m, pa, prev);
+
+        std::vector<std::uint8_t> expect(n);
+        for (unsigned i = 0; i < n; ++i) {
+            int v = (3 * cur[i] + prev[i] + 2) >> 2;
+            expect[i] = static_cast<std::uint8_t>(
+                v < 0 ? 0 : (v > 255 ? 255 : v));
+        }
+        checks->push_back({oa, std::move(expect)});
+
+        ProgramBuilder b("mpeg2dec_" + std::string(
+                             variantName(spec.variant)));
+        b.li(10, static_cast<std::int64_t>(ca))
+            .li(11, static_cast<std::int64_t>(pa))
+            .li(12, static_cast<std::int64_t>(oa));
+
+        if (spec.variant == Variant::Comp) {
+            b.li(3, n / 4); // four byte-packed pixels per initiation
+            auto produce = [&](ProgramBuilder &p) {
+                p.slli(4, 1, 2)
+                    .add(5, 10, 4)
+                    .splLoadM(5, 0, 0) // cur, packed
+                    .add(5, 11, 4)
+                    .splLoadM(5, 0, 1) // prev, packed
+                    .splInit(cfg);
+            };
+            auto consume = [&](ProgramBuilder &p) {
+                p.slli(4, 2, 2)
+                    .add(5, 12, 4)
+                    .splStoreM(5, 0); // four packed result bytes
+            };
+            emitPipelined(b, 3, produce, consume);
+        } else {
+            b.li(3, n).li(1, 0).li(14, 255);
+            b.label("loop")
+                .bge(1, 3, "done")
+                .add(5, 10, 1)
+                .lbu(6, 5, 0)
+                .add(5, 11, 1)
+                .lbu(7, 5, 0)
+                .slli(8, 6, 1)
+                .add(8, 8, 6)
+                .add(8, 8, 7)
+                .addi(8, 8, 2)
+                .srai(8, 8, 2)
+                .max(8, 8, 0)
+                .min(8, 8, 14)
+                .add(5, 12, 1)
+                .sb(8, 5, 0)
+                .addi(1, 1, 1)
+                .j("loop")
+                .label("done")
+                .halt();
+        }
+
+        isa::Program *prog = r.addProgram(b.build());
+        auto &t = r.system->createThread(prog);
+        r.system->mapThread(t.id, copy);
+    }
+
+    sys::System *sysp = r.system.get();
+    r.verify = [checks, sysp] {
+        for (const auto &c : *checks) {
+            auto got = loadU8Array(sysp->memory(), c.out,
+                                   c.expect.size());
+            if (got != c.expect)
+                return false;
+        }
+        return true;
+    };
+    r.workUnits = static_cast<double>(n) * copies;
+    return r;
+}
+
+// ------------------------------------------------------------------ //
+// mpeg2enc: dist1 (16x16 SAD with early exit)
+// ------------------------------------------------------------------ //
+
+PreparedRun
+makeMpeg2Enc(const RunSpec &spec)
+{
+    const unsigned blocks = spec.iterations ? spec.iterations : 48;
+    const unsigned copies = computeCopies(spec);
+    constexpr unsigned blockPixels = 256;
+    constexpr std::int32_t limit = 4000;
+    PreparedRun r = newRun("mpeg2enc", computeConfig(spec.variant));
+    auto &m = r.system->memory();
+    AddrAllocator alloc;
+
+    ConfigId cfg = 0;
+    if (spec.variant == Variant::Comp)
+        cfg = r.system->registerFunction(dist1Sad16());
+
+    struct Check
+    {
+        Addr out;
+        std::vector<std::int32_t> expect;
+    };
+    auto checks = std::make_shared<std::vector<Check>>();
+
+    for (unsigned copy = 0; copy < copies; ++copy) {
+        const unsigned n = blocks * blockPixels;
+        auto a = randomU8(n, 0, 255, 0x2e0 + copy);
+        auto bpix = randomU8(n, 0, 255, 0x2e1 + copy);
+        // Make half the blocks "close" so the early exit is truly
+        // data dependent (as with real motion estimation).
+        for (unsigned blk = 0; blk < blocks; blk += 2)
+            for (unsigned i = 0; i < blockPixels; ++i)
+                bpix[blk * blockPixels + i] = static_cast<
+                    std::uint8_t>(a[blk * blockPixels + i] ^ 3);
+        const Addr aa = alloc.alloc(n);
+        const Addr ba = alloc.alloc(n);
+        const Addr oa = alloc.alloc(blocks * 4);
+        storeU8Array(m, aa, a);
+        storeU8Array(m, ba, bpix);
+
+        // Golden: SAD per block, early exit per 16-pixel row.
+        std::vector<std::int32_t> expect(blocks);
+        for (unsigned blk = 0; blk < blocks; ++blk) {
+            std::int32_t s = 0;
+            for (unsigned row = 0; row < 16; ++row) {
+                for (unsigned px = 0; px < 16; ++px) {
+                    unsigned idx = blk * blockPixels + row * 16 + px;
+                    s += std::abs(int(a[idx]) - int(bpix[idx]));
+                }
+                if (s > limit)
+                    break;
+            }
+            expect[blk] = s;
+        }
+        checks->push_back({oa, std::move(expect)});
+
+        ProgramBuilder b("mpeg2enc_" + std::string(
+                             variantName(spec.variant)));
+        // x10=a, x11=b, x12=out, x13=limit
+        // x1=blk, x2=row, x4=px-group, x15=s, x5/x6 addr scratch
+        b.li(10, static_cast<std::int64_t>(aa))
+            .li(11, static_cast<std::int64_t>(ba))
+            .li(12, static_cast<std::int64_t>(oa))
+            .li(13, limit)
+            .li(3, blocks)
+            .li(1, 0);
+
+        b.label("blk_loop")
+            .bge(1, 3, "done")
+            .li(15, 0)
+            .li(2, 0)
+            .label("row_loop")
+            .slti(5, 2, 16)
+            .beq(5, 0, "blk_next");
+
+        if (spec.variant == Variant::Comp) {
+            // One initiation covers a full 16-pixel row: four packed
+            // reference words and four packed candidate words.
+            b.slli(7, 1, 4)
+                .add(7, 7, 2)
+                .slli(7, 7, 4)   // x7 = (blk*16 + row) * 16
+                .add(5, 10, 7)
+                .add(6, 11, 7);
+            for (unsigned k = 0; k < 4; ++k)
+                b.splLoadM(5, 4 * k, k);
+            for (unsigned k = 0; k < 4; ++k)
+                b.splLoadM(6, 4 * k, 4 + k);
+            b.splInit(cfg).splStore(28, 0).add(15, 15, 28);
+        } else {
+            b.li(4, 0)
+                .label("px_loop")
+                .slti(5, 4, 4)
+                .beq(5, 0, "row_next");
+            // base index x7 = ((blk*16 + row)*16) + px*4
+            b.slli(7, 1, 4)
+                .add(7, 7, 2)
+                .slli(7, 7, 4)
+                .slli(8, 4, 2)
+                .add(7, 7, 8);
+            for (unsigned k = 0; k < 4; ++k) {
+                b.add(5, 10, 7)
+                    .lbu(20, 5, k)
+                    .add(6, 11, 7)
+                    .lbu(21, 6, k)
+                    .sub(22, 20, 21)
+                    .sub(23, 0, 22)
+                    .max(22, 22, 23)
+                    .add(15, 15, 22);
+            }
+            b.addi(4, 4, 1).j("px_loop").label("row_next");
+        }
+
+        b.blt(13, 15, "blk_next") // early exit: s > limit
+            .addi(2, 2, 1)
+            .j("row_loop")
+            .label("blk_next")
+            .slli(7, 1, 2)
+            .add(5, 12, 7)
+            .sw(15, 5, 0)
+            .addi(1, 1, 1)
+            .j("blk_loop")
+            .label("done")
+            .halt();
+
+        isa::Program *prog = r.addProgram(b.build());
+        auto &t = r.system->createThread(prog);
+        r.system->mapThread(t.id, copy);
+    }
+
+    sys::System *sysp = r.system.get();
+    r.verify = [checks, sysp] {
+        for (const auto &c : *checks) {
+            auto got = loadI32Array(sysp->memory(), c.out,
+                                    c.expect.size());
+            if (got != c.expect)
+                return false;
+        }
+        return true;
+    };
+    r.workUnits = static_cast<double>(blocks) * copies;
+    return r;
+}
+
+// ------------------------------------------------------------------ //
+// gsmtoast: LTP cross-correlation (grouped MAC with running max)
+// ------------------------------------------------------------------ //
+
+PreparedRun
+makeGsmToast(const RunSpec &spec)
+{
+    const unsigned frames = spec.iterations ? spec.iterations : 24;
+    const unsigned copies = computeCopies(spec);
+    constexpr unsigned lagLo = 40, lagHi = 120, taps = 40;
+    PreparedRun r = newRun("gsmtoast", computeConfig(spec.variant));
+    auto &m = r.system->memory();
+    AddrAllocator alloc;
+
+    ConfigId cfg = 0;
+    if (spec.variant == Variant::Comp)
+        cfg = r.system->registerFunction(gsmMac8());
+
+    struct Check
+    {
+        Addr out;
+        std::vector<std::int32_t> expect;
+    };
+    auto checks = std::make_shared<std::vector<Check>>();
+
+    for (unsigned copy = 0; copy < copies; ++copy) {
+        const unsigned dpLen = lagHi + taps + frames;
+        auto wt = randomI32(taps, -2048, 2047, 0x6151 + copy);
+        auto dp = randomI32(dpLen, -2048, 2047, 0x6152 + copy);
+        const Addr wa = alloc.alloc(taps * 4);
+        const Addr da = alloc.alloc(dpLen * 4);
+        const Addr oa = alloc.alloc(frames * 8); // best, bestlag
+        storeI32Array(m, wa, wt);
+        storeI32Array(m, da, dp);
+
+        // Golden: per frame f, scan lags; acc in groups of 4 with
+        // the fabric's per-group >>15.
+        std::vector<std::int32_t> expect(frames * 2);
+        for (unsigned f = 0; f < frames; ++f) {
+            std::int32_t best = INT32_MIN;
+            std::int32_t best_lag = 0;
+            for (unsigned lag = lagLo; lag <= lagHi; ++lag) {
+                std::int32_t acc = 0;
+                for (unsigned g = 0; g < taps; g += 8) {
+                    std::int64_t s = 0;
+                    for (unsigned k = 0; k < 8; ++k)
+                        s += std::int64_t(wt[g + k]) *
+                             dp[f + lag - lagLo + g + k];
+                    acc += static_cast<std::int32_t>(s) >> 15;
+                }
+                if (acc > best) {
+                    best = acc;
+                    best_lag = static_cast<std::int32_t>(lag);
+                }
+            }
+            expect[2 * f] = best;
+            expect[2 * f + 1] = best_lag;
+        }
+        checks->push_back({oa, std::move(expect)});
+
+        ProgramBuilder b("gsmtoast_" + std::string(
+                             variantName(spec.variant)));
+        // x10=wt, x11=dp, x12=out, x1=frame, x2=lag, x4=group
+        // x15=acc, x16=best, x17=bestlag, x5..x9,x20..x29 scratch
+        b.li(10, static_cast<std::int64_t>(wa))
+            .li(11, static_cast<std::int64_t>(da))
+            .li(12, static_cast<std::int64_t>(oa))
+            .li(3, frames)
+            .li(1, 0);
+
+        // x6 = &wt[g], x7 = &dp[frame + lag - lagLo + g]; the lag
+        // body sets them for g = 0 and increments by 32 per group.
+        auto emitLagAddrs = [&](ProgramBuilder &p) {
+            p.mv(6, 10)
+                .add(7, 1, 2)
+                .addi(7, 7, -std::int64_t(lagLo))
+                .slli(7, 7, 2)
+                .add(7, 7, 11);
+        };
+        // Stage the 16 operand words of one 8-tap group and advance.
+        auto emitStage = [&](ProgramBuilder &p) {
+            for (unsigned k = 0; k < 8; ++k)
+                p.splLoadM(6, 4 * k, k);
+            for (unsigned k = 0; k < 8; ++k)
+                p.splLoadM(7, 4 * k, 8 + k);
+            p.splInit(cfg).addi(6, 6, 32).addi(7, 7, 32);
+        };
+
+        b.label("frame")
+            .bge(1, 3, "done")
+            .li(16, INT32_MIN)
+            .li(17, 0)
+            .li(2, lagLo)
+            .label("lag")
+            .slti(5, 2, lagHi + 1)
+            .beq(5, 0, "frame_next")
+            .li(15, 0)
+            .li(4, 0);
+        emitLagAddrs(b);
+
+        if (spec.variant == Variant::Comp) {
+            // Two groups in flight ahead of the accumulate.
+            emitStage(b);
+            emitStage(b);
+            b.addi(4, 4, 16);
+            b.label("group").slti(5, 4, taps).beq(5, 0, "drain");
+            emitStage(b);
+            b.splStore(28, 0).add(15, 15, 28);
+            b.addi(4, 4, 8).j("group");
+            b.label("drain").splStore(28, 0).add(15, 15, 28);
+            b.splStore(28, 0).add(15, 15, 28);
+        } else {
+            b.label("group").slti(5, 4, taps).beq(5, 0, "lag_next");
+            b.li(28, 0);
+            for (unsigned k = 0; k < 8; ++k)
+                b.lw(20, 6, 4 * k)
+                    .lw(21, 7, 4 * k)
+                    .mul(20, 20, 21)
+                    .add(28, 28, 20);
+            // 32-bit wrap + >>15, matching the fabric
+            b.slli(28, 28, 32)
+                .srai(28, 28, 32)
+                .srai(28, 28, 15)
+                .add(15, 15, 28)
+                .addi(6, 6, 32)
+                .addi(7, 7, 32);
+            b.addi(4, 4, 8).j("group");
+        }
+
+        b.label("lag_next")
+            .bge(16, 15, "no_new_best")
+            .mv(16, 15)
+            .mv(17, 2)
+            .label("no_new_best")
+            .addi(2, 2, 1)
+            .j("lag")
+            .label("frame_next")
+            .slli(5, 1, 3)
+            .add(5, 5, 12)
+            .sw(16, 5, 0)
+            .sw(17, 5, 4)
+            .addi(1, 1, 1)
+            .j("frame")
+            .label("done")
+            .halt();
+
+        isa::Program *prog = r.addProgram(b.build());
+        auto &t = r.system->createThread(prog);
+        r.system->mapThread(t.id, copy);
+    }
+
+    sys::System *sysp = r.system.get();
+    r.verify = [checks, sysp] {
+        for (const auto &c : *checks) {
+            auto got = loadI32Array(sysp->memory(), c.out,
+                                    c.expect.size());
+            if (got != c.expect)
+                return false;
+        }
+        return true;
+    };
+    r.workUnits = static_cast<double>(frames) * copies;
+    return r;
+}
+
+// ------------------------------------------------------------------ //
+// gsmuntoast: block-structured synthesis lattice
+// ------------------------------------------------------------------ //
+
+namespace
+{
+
+/** One-stage lattice over a block of 8 samples (state resets per
+ *  block), matching gsmuntoastBlock8() in the fabric. */
+void
+goldenLattice8(const std::int32_t *x, std::int32_t rrp,
+               std::int32_t *out)
+{
+    std::int32_t v = 0;
+    for (unsigned j = 0; j < 8; ++j) {
+        std::int32_t t = static_cast<std::int32_t>(
+            (static_cast<std::int64_t>(rrp) * v) >> 15);
+        v = x[j] - t;
+        out[j] = v;
+    }
+}
+
+} // namespace
+
+PreparedRun
+makeGsmUntoast(const RunSpec &spec)
+{
+    const unsigned blocks = spec.iterations ? spec.iterations : 800;
+    const unsigned copies = computeCopies(spec);
+    constexpr std::int32_t rrp = 13107; // ~0.4 in Q15
+    PreparedRun r = newRun("gsmuntoast", computeConfig(spec.variant));
+    auto &m = r.system->memory();
+    AddrAllocator alloc;
+
+    // Fabric config: 8 samples of v' = x - (rrp*v >> 15), 24 rows.
+    ConfigId cfg = 0;
+    if (spec.variant == Variant::Comp) {
+        spl::FunctionBuilder fb("gsm_lattice8", 9);
+        // inputs: 0..7 samples, 8 = rrp; v starts at 0 (reg 10).
+        for (unsigned j = 0; j < 8; ++j) {
+            fb.row().op(spl::WOp::Mul, 11, 8, 10);
+            fb.row().op(spl::WOp::SraImm, 11, 11, 0, 15);
+            fb.row().op(spl::WOp::Sub, 10,
+                        static_cast<std::uint8_t>(j), 11);
+            // route v into the per-sample output register
+            fb.row().op(spl::WOp::Mov,
+                        static_cast<std::uint8_t>(20 + j), 10);
+        }
+        cfg = r.system->registerFunction(
+            fb.outputs({20, 21, 22, 23, 24, 25, 26, 27}).build());
+    }
+
+    struct Check
+    {
+        Addr out;
+        std::vector<std::int32_t> expect;
+    };
+    auto checks = std::make_shared<std::vector<Check>>();
+
+    for (unsigned copy = 0; copy < copies; ++copy) {
+        const unsigned n = blocks * 8;
+        auto x = randomI32(n, -16384, 16383, 0x6153 + copy);
+        const Addr xa = alloc.alloc(n * 4);
+        const Addr oa = alloc.alloc(n * 4);
+        storeI32Array(m, xa, x);
+
+        std::vector<std::int32_t> expect(n);
+        for (unsigned blk = 0; blk < blocks; ++blk)
+            goldenLattice8(&x[blk * 8], rrp, &expect[blk * 8]);
+        checks->push_back({oa, std::move(expect)});
+
+        ProgramBuilder b("gsmuntoast_" + std::string(
+                             variantName(spec.variant)));
+        b.li(10, static_cast<std::int64_t>(xa))
+            .li(11, static_cast<std::int64_t>(oa))
+            .li(13, rrp)
+            .li(3, blocks);
+
+        if (spec.variant == Variant::Comp) {
+            auto produce = [&](ProgramBuilder &p) {
+                p.slli(4, 1, 5).add(5, 10, 4);
+                for (unsigned j = 0; j < 8; ++j)
+                    p.splLoadM(5, 4 * j, j);
+                p.splLoad(13, 8).splInit(cfg);
+            };
+            auto consume = [&](ProgramBuilder &p) {
+                p.slli(4, 2, 5).add(5, 11, 4);
+                for (unsigned j = 0; j < 8; ++j)
+                    p.splStoreM(5, 4 * j);
+            };
+            emitPipelined(b, 3, produce, consume);
+        } else {
+            b.li(1, 0);
+            b.label("loop")
+                .bge(1, 3, "done")
+                .slli(4, 1, 5)
+                .add(5, 10, 4)
+                .add(6, 11, 4)
+                .li(14, 0); // v
+            for (unsigned j = 0; j < 8; ++j) {
+                b.mul(15, 13, 14)
+                    .srai(15, 15, 15)
+                    .lw(16, 5, 4 * j)
+                    .sub(14, 16, 15)
+                    .slli(14, 14, 32)
+                    .srai(14, 14, 32)
+                    .sw(14, 6, 4 * j);
+            }
+            b.addi(1, 1, 1).j("loop").label("done").halt();
+        }
+
+        isa::Program *prog = r.addProgram(b.build());
+        auto &t = r.system->createThread(prog);
+        r.system->mapThread(t.id, copy);
+    }
+
+    sys::System *sysp = r.system.get();
+    r.verify = [checks, sysp] {
+        for (const auto &c : *checks) {
+            auto got = loadI32Array(sysp->memory(), c.out,
+                                    c.expect.size());
+            if (got != c.expect)
+                return false;
+        }
+        return true;
+    };
+    r.workUnits = static_cast<double>(blocks) * copies;
+    return r;
+}
+
+// ------------------------------------------------------------------ //
+// libquantum: toffoli / cnot over a state vector
+// ------------------------------------------------------------------ //
+
+PreparedRun
+makeLibquantum(const RunSpec &spec)
+{
+    const unsigned n = spec.iterations ? spec.iterations : 12000;
+    const unsigned copies = computeCopies(spec);
+    constexpr std::int32_t cmask = 0x12;
+    constexpr std::int32_t tmask = 0x40;
+    PreparedRun r = newRun("libquantum", computeConfig(spec.variant));
+    auto &m = r.system->memory();
+    AddrAllocator alloc;
+
+    REMAP_ASSERT(n % 4 == 0,
+                 "libquantum size must be a multiple of 4");
+    ConfigId cfg = 0;
+    if (spec.variant == Variant::Comp)
+        cfg = r.system->registerFunction(quantumGate4(cmask, tmask));
+
+    struct Check
+    {
+        Addr out;
+        std::vector<std::int32_t> expect;
+    };
+    auto checks = std::make_shared<std::vector<Check>>();
+
+    for (unsigned copy = 0; copy < copies; ++copy) {
+        auto state = randomI32(n, 0, 0xff, 0x9a17 + copy);
+        const Addr sa = alloc.alloc(n * 4);
+        const Addr oa = alloc.alloc(n * 4);
+        storeI32Array(m, sa, state);
+
+        std::vector<std::int32_t> expect(n);
+        for (unsigned i = 0; i < n; ++i) {
+            std::int32_t w = state[i];
+            if ((w & cmask) == cmask)
+                w ^= tmask;
+            expect[i] = w;
+        }
+        checks->push_back({oa, std::move(expect)});
+
+        ProgramBuilder b("libquantum_" + std::string(
+                             variantName(spec.variant)));
+        b.li(10, static_cast<std::int64_t>(sa))
+            .li(11, static_cast<std::int64_t>(oa))
+            .li(3, n);
+
+        if (spec.variant == Variant::Comp) {
+            b.li(3, n / 4); // four state words per initiation
+            auto produce = [&](ProgramBuilder &p) {
+                p.slli(4, 1, 4).add(5, 10, 4);
+                for (unsigned k = 0; k < 4; ++k)
+                    p.splLoadM(5, 4 * k, k);
+                p.splInit(cfg);
+            };
+            auto consume = [&](ProgramBuilder &p) {
+                p.slli(4, 2, 4).add(5, 11, 4);
+                for (unsigned k = 0; k < 4; ++k)
+                    p.splStoreM(5, 4 * k);
+            };
+            emitPipelined(b, 3, produce, consume);
+        } else {
+            b.li(1, 0).li(13, cmask).li(14, tmask);
+            b.label("loop")
+                .bge(1, 3, "done")
+                .slli(4, 1, 2)
+                .add(5, 10, 4)
+                .lw(6, 5, 0)
+                .and_(7, 6, 13)
+                .bne(7, 13, "skip")   // data-dependent flip
+                .xor_(6, 6, 14)
+                .label("skip")
+                .add(5, 11, 4)
+                .sw(6, 5, 0)
+                .addi(1, 1, 1)
+                .j("loop")
+                .label("done")
+                .halt();
+        }
+
+        isa::Program *prog = r.addProgram(b.build());
+        auto &t = r.system->createThread(prog);
+        r.system->mapThread(t.id, copy);
+    }
+
+    sys::System *sysp = r.system.get();
+    r.verify = [checks, sysp] {
+        for (const auto &c : *checks) {
+            auto got = loadI32Array(sysp->memory(), c.out,
+                                    c.expect.size());
+            if (got != c.expect)
+                return false;
+        }
+        return true;
+    };
+    r.workUnits = static_cast<double>(n) * copies;
+    return r;
+}
+
+} // namespace remap::workloads

@@ -1,0 +1,153 @@
+#include "workloads/workload.hh"
+
+#include "sim/logging.hh"
+
+namespace remap::workloads
+{
+
+const char *
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Seq:           return "Seq";
+      case Variant::SeqOoo2:       return "SeqOOO2";
+      case Variant::Comp:          return "1Th+Comp";
+      case Variant::Comm:          return "2Th+Comm";
+      case Variant::CompComm:      return "2Th+CompComm";
+      case Variant::Ooo2Comm:      return "OOO2+Comm";
+      case Variant::SwQueue:       return "SWQueue";
+      case Variant::SwBarrier:     return "SW";
+      case Variant::HwBarrier:     return "Barrier";
+      case Variant::HwBarrierComp: return "Barrier+Comp";
+      case Variant::HomogBarrier:  return "Homog+Barrier";
+    }
+    return "?";
+}
+
+sys::RunResult
+PreparedRun::run(Cycle max_cycles)
+{
+    sys::RunResult r = system->run(max_cycles);
+    if (r.timedOut)
+        REMAP_FATAL("workload '%s' did not quiesce in %llu cycles",
+                    name.c_str(),
+                    static_cast<unsigned long long>(max_cycles));
+    return r;
+}
+
+isa::Program *
+PreparedRun::addProgram(isa::Program p)
+{
+    programs.push_back(
+        std::make_unique<isa::Program>(std::move(p)));
+    return programs.back().get();
+}
+
+const std::vector<WorkloadInfo> &
+registry()
+{
+    static const std::vector<WorkloadInfo> regs = [] {
+        std::vector<WorkloadInfo> v;
+        auto add = [&](std::string name, std::string fns, double frac,
+                       Mode mode, unsigned episodes,
+                       std::function<PreparedRun(const RunSpec &)> f) {
+            WorkloadInfo w;
+            w.name = std::move(name);
+            w.functions = std::move(fns);
+            w.execFraction = frac;
+            w.mode = mode;
+            w.regionEpisodes = episodes;
+            w.make = std::move(f);
+            v.push_back(std::move(w));
+        };
+
+        // Computation-only (Table III, top block).
+        add("g721enc", "fmult", 0.46, Mode::ComputeOnly, 8,
+            [](const RunSpec &s) { return makeG721(s, true); });
+        add("g721dec", "fmult", 0.48, Mode::ComputeOnly, 8,
+            [](const RunSpec &s) { return makeG721(s, false); });
+        add("mpeg2dec",
+            "store_ppm_tga, conv422to444, conv420to422", 0.63,
+            Mode::ComputeOnly, 8, makeMpeg2Dec);
+        add("mpeg2enc", "dist1", 0.70, Mode::ComputeOnly, 8,
+            makeMpeg2Enc);
+        add("gsmtoast", "LTP parameters, weighting filter", 0.54,
+            Mode::ComputeOnly, 8, makeGsmToast);
+        add("gsmuntoast", "short term synthesis filtering", 0.76,
+            Mode::ComputeOnly, 8, makeGsmUntoast);
+        add("libquantum", "quantum_toffoli, quantum_cnot", 0.40,
+            Mode::ComputeOnly, 8, makeLibquantum);
+
+        // Communication + computation (Table III, middle block).
+        add("wc", "wc", 1.00, Mode::CommComp, 1, makeWc);
+        add("unepic", "read_and_huffman_decode", 0.22,
+            Mode::CommComp, 8, makeUnepic);
+        add("cjpeg", "rgb_ycc_convert, jpeg_fdct_islow", 0.50,
+            Mode::CommComp, 8, makeCjpeg);
+        add("adpcm", "adpcm_decoder", 0.99, Mode::CommComp, 1,
+            makeAdpcm);
+        // twolf's optimized region is entered very many times for
+        // very short durations; migration cost dominates (Sec. V-A).
+        add("twolf", "new_dbox_a", 0.30, Mode::CommComp, 400,
+            makeTwolf);
+        add("hmmer", "P7Viterbi", 0.85, Mode::CommComp, 8,
+            makeHmmer);
+        add("astar", "regwayobj::makebound2", 0.33, Mode::CommComp,
+            8, makeAstar);
+
+        // Barrier synchronization (Table III, bottom block).
+        add("ll2", "Livermore Loop 2 (ICCG)", 1.00, Mode::Barrier, 1,
+            [](const RunSpec &s) { return makeLivermore(s, 2); });
+        add("ll3", "Livermore Loop 3 (inner product)", 1.00,
+            Mode::Barrier, 1,
+            [](const RunSpec &s) { return makeLivermore(s, 3); });
+        add("ll6", "Livermore Loop 6 (linear recurrence)", 1.00,
+            Mode::Barrier, 1,
+            [](const RunSpec &s) { return makeLivermore(s, 6); });
+        add("dijkstra", "Dijkstra's algorithm", 1.00, Mode::Barrier,
+            1, makeDijkstra);
+        return v;
+    }();
+    return regs;
+}
+
+const WorkloadInfo &
+byName(const std::string &name)
+{
+    for (const WorkloadInfo &w : registry())
+        if (w.name == name)
+            return w;
+    REMAP_FATAL("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+computeOnlyNames()
+{
+    std::vector<std::string> v;
+    for (const WorkloadInfo &w : registry())
+        if (w.mode == Mode::ComputeOnly)
+            v.push_back(w.name);
+    return v;
+}
+
+std::vector<std::string>
+commNames()
+{
+    std::vector<std::string> v;
+    for (const WorkloadInfo &w : registry())
+        if (w.mode == Mode::CommComp)
+            v.push_back(w.name);
+    return v;
+}
+
+std::vector<std::string>
+barrierNames()
+{
+    std::vector<std::string> v;
+    for (const WorkloadInfo &w : registry())
+        if (w.mode == Mode::Barrier)
+            v.push_back(w.name);
+    return v;
+}
+
+} // namespace remap::workloads

@@ -1,0 +1,185 @@
+/** @file System-level barrier tests: SW vs ReMAP barrier correctness
+ *  and the first-order timing relationship the paper relies on
+ *  (ReMAP barriers much cheaper than memory-based ones). */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "isa/builder.hh"
+#include "spl/function.hh"
+#include "workloads/kernels_common.hh"
+
+namespace remap
+{
+namespace
+{
+
+using workloads::detail::SwBarrierLayout;
+
+/** Build a p-thread program that crosses `episodes` SW barriers. */
+std::vector<isa::Program>
+swBarrierPrograms(unsigned p, unsigned episodes,
+                  const SwBarrierLayout &layout, Addr out)
+{
+    std::vector<isa::Program> progs;
+    for (unsigned t = 0; t < p; ++t) {
+        isa::ProgramBuilder b("sw_t" + std::to_string(t));
+        workloads::detail::emitSwBarrierInit(b, layout, p);
+        b.li(1, 0).li(3, episodes);
+        b.label("loop").bge(1, 3, "done");
+        workloads::detail::emitSwBarrier(b, "bar");
+        b.addi(1, 1, 1).j("loop").label("done");
+        b.li(4, static_cast<std::int64_t>(out) + 8 * t)
+            .sd(1, 4, 0)
+            .halt();
+        progs.push_back(b.build());
+    }
+    return progs;
+}
+
+TEST(SwBarrier, AllThreadsCompleteAllEpisodes)
+{
+    const unsigned p = 4, episodes = 20;
+    sys::System sys(sys::SystemConfig::ooo1Cluster(p));
+    workloads::AddrAllocator alloc;
+    auto layout = SwBarrierLayout::make(alloc);
+    const Addr out = 0x8000;
+    auto progs = swBarrierPrograms(p, episodes, layout, out);
+    for (unsigned t = 0; t < p; ++t) {
+        auto &th = sys.createThread(&progs[t]);
+        sys.mapThread(th.id, t);
+    }
+    ASSERT_FALSE(sys.run(50'000'000).timedOut);
+    for (unsigned t = 0; t < p; ++t)
+        EXPECT_EQ(sys.memory().readI64(out + 8 * t), episodes);
+}
+
+/** Build p-thread programs crossing `episodes` ReMAP barriers. */
+std::vector<isa::Program>
+hwBarrierPrograms(unsigned p, unsigned episodes, ConfigId token,
+                  Addr out)
+{
+    std::vector<isa::Program> progs;
+    for (unsigned t = 0; t < p; ++t) {
+        isa::ProgramBuilder b("hw_t" + std::to_string(t));
+        b.li(1, 0).li(3, episodes);
+        b.label("loop").bge(1, 3, "done");
+        workloads::detail::emitHwBarrier(b, token, 0);
+        b.addi(1, 1, 1).j("loop").label("done");
+        b.li(4, static_cast<std::int64_t>(out) + 8 * t)
+            .sd(1, 4, 0)
+            .halt();
+        progs.push_back(b.build());
+    }
+    return progs;
+}
+
+TEST(HwBarrier, AllThreadsCompleteAllEpisodes)
+{
+    const unsigned p = 4, episodes = 20;
+    sys::System sys(sys::SystemConfig::splCluster());
+    ConfigId token =
+        sys.registerFunction(spl::functions::passthrough(1));
+    sys.declareBarrier(0, p);
+    const Addr out = 0x8000;
+    auto progs = hwBarrierPrograms(p, episodes, token, out);
+    for (unsigned t = 0; t < p; ++t) {
+        auto &th = sys.createThread(&progs[t]);
+        sys.mapThread(th.id, t);
+    }
+    ASSERT_FALSE(sys.run(50'000'000).timedOut);
+    for (unsigned t = 0; t < p; ++t)
+        EXPECT_EQ(sys.memory().readI64(out + 8 * t), episodes);
+}
+
+TEST(HwBarrier, MuchCheaperThanSwBarrier)
+{
+    const unsigned p = 4, episodes = 50;
+    Cycle sw_cycles, hw_cycles;
+    {
+        sys::System sys(sys::SystemConfig::ooo1Cluster(p));
+        workloads::AddrAllocator alloc;
+        auto layout = SwBarrierLayout::make(alloc);
+        auto progs = swBarrierPrograms(p, episodes, layout, 0x8000);
+        for (unsigned t = 0; t < p; ++t) {
+            auto &th = sys.createThread(&progs[t]);
+            sys.mapThread(th.id, t);
+        }
+        auto r = sys.run(100'000'000);
+        ASSERT_FALSE(r.timedOut);
+        sw_cycles = r.cycles;
+    }
+    {
+        sys::System sys(sys::SystemConfig::splCluster());
+        ConfigId token =
+            sys.registerFunction(spl::functions::passthrough(1));
+        sys.declareBarrier(0, p);
+        auto progs = hwBarrierPrograms(p, episodes, token, 0x8000);
+        for (unsigned t = 0; t < p; ++t) {
+            auto &th = sys.createThread(&progs[t]);
+            sys.mapThread(th.id, t);
+        }
+        auto r = sys.run(100'000'000);
+        ASSERT_FALSE(r.timedOut);
+        hw_cycles = r.cycles;
+    }
+    // The paper's premise: dedicated barriers are far cheaper than
+    // memory-based ones (Section V-C, Fig. 12).
+    EXPECT_LT(hw_cycles * 2, sw_cycles)
+        << "hw=" << hw_cycles << " sw=" << sw_cycles;
+}
+
+TEST(HwBarrier, SixteenThreadsAcrossFourClusters)
+{
+    const unsigned p = 16, episodes = 5;
+    sys::System sys(sys::SystemConfig::splClusters(4));
+    ConfigId token =
+        sys.registerFunction(spl::functions::passthrough(1));
+    sys.declareBarrier(0, p);
+    auto progs = hwBarrierPrograms(p, episodes, token, 0x8000);
+    for (unsigned t = 0; t < p; ++t) {
+        auto &th = sys.createThread(&progs[t]);
+        sys.mapThread(th.id, t);
+    }
+    ASSERT_FALSE(sys.run(50'000'000).timedOut);
+    for (unsigned t = 0; t < p; ++t)
+        EXPECT_EQ(sys.memory().readI64(0x8000 + 8 * t), episodes);
+}
+
+TEST(HwBarrier, BarrierComputationDeliversGlobalValue)
+{
+    // Two threads, repeated barrier-with-min episodes with changing
+    // values; each side must observe the running global min.
+    sys::System sys(sys::SystemConfig::splCluster());
+    ConfigId mincfg =
+        sys.registerFunction(spl::functions::globalMin());
+    sys.declareBarrier(0, 2);
+    std::vector<isa::Program> progs;
+    for (unsigned t = 0; t < 2; ++t) {
+        isa::ProgramBuilder b("t" + std::to_string(t));
+        b.li(1, 0).li(3, 10).li(5, t ? 100 : 200);
+        b.label("loop").bge(1, 3, "done");
+        b.add(6, 5, 1)            // value = base + episode
+            .splLoad(6, 0)
+            .splBar(mincfg, 0)
+            .splStore(7, 0)       // global min
+            .li(8, 0x9000)
+            .slli(9, 1, 3)
+            .add(8, 8, 9)
+            .sd(7, 8, 0)          // both threads store same value
+            .addi(1, 1, 1)
+            .j("loop");
+        b.label("done").halt();
+        progs.push_back(b.build());
+    }
+    for (unsigned t = 0; t < 2; ++t) {
+        auto &th = sys.createThread(&progs[t]);
+        sys.mapThread(th.id, t);
+    }
+    ASSERT_FALSE(sys.run(10'000'000).timedOut);
+    for (int ep = 0; ep < 10; ++ep)
+        EXPECT_EQ(sys.memory().readI64(0x9000 + 8 * ep), 100 + ep);
+}
+
+} // namespace
+} // namespace remap

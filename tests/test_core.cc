@@ -1,0 +1,347 @@
+/** @file Tests for the out-of-order core: functional correctness of
+ *  every opcode class, and first-order timing behaviour (widths,
+ *  dependencies, mispredictions, cache misses). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "cpu/core.hh"
+#include "isa/builder.hh"
+
+namespace remap::cpu
+{
+namespace
+{
+
+/** Single-core fixture with its own memory. */
+class CoreTest : public ::testing::Test
+{
+  protected:
+    CoreTest() : mem(1) {}
+
+    /** Run @p prog on a fresh core; @return cycles to completion. */
+    Cycle
+    run(const isa::Program &prog, const CoreParams &params)
+    {
+        core = std::make_unique<OooCore>(0, params, &mem, &image);
+        ctx.id = 0;
+        ctx.reset(&prog);
+        core->bindThread(&ctx);
+        Cycle cycle = 0;
+        while (!core->done()) {
+            core->tick(cycle++);
+            if (cycle > 4'000'000)
+                ADD_FAILURE() << "core did not finish";
+        }
+        return cycle;
+    }
+
+    Cycle
+    runOoo1(const isa::Program &prog)
+    {
+        return run(prog, CoreParams::ooo1());
+    }
+
+    mem::MemSystem mem;
+    mem::MemoryImage image;
+    std::unique_ptr<OooCore> core;
+    ThreadContext ctx;
+};
+
+TEST_F(CoreTest, AluArithmetic)
+{
+    isa::ProgramBuilder b("t");
+    b.li(1, 20)
+        .li(2, 22)
+        .add(3, 1, 2)
+        .sub(4, 2, 1)
+        .mul(5, 1, 2)
+        .div(6, 2, 1)
+        .rem(7, 2, 1)
+        .min(8, 1, 2)
+        .max(9, 1, 2)
+        .halt();
+    auto p = b.build();
+    runOoo1(p);
+    EXPECT_EQ(ctx.intRegs[3], 42);
+    EXPECT_EQ(ctx.intRegs[4], 2);
+    EXPECT_EQ(ctx.intRegs[5], 440);
+    EXPECT_EQ(ctx.intRegs[6], 1);
+    EXPECT_EQ(ctx.intRegs[7], 2);
+    EXPECT_EQ(ctx.intRegs[8], 20);
+    EXPECT_EQ(ctx.intRegs[9], 22);
+}
+
+TEST_F(CoreTest, LogicAndShifts)
+{
+    isa::ProgramBuilder b("t");
+    b.li(1, 0xf0)
+        .li(2, 0x0f)
+        .and_(3, 1, 2)
+        .or_(4, 1, 2)
+        .xor_(5, 1, 2)
+        .slli(6, 2, 4)
+        .srli(7, 1, 4)
+        .li(8, -16)
+        .srai(9, 8, 2)
+        .slti(11, 2, 16)
+        .halt();
+    auto p = b.build();
+    runOoo1(p);
+    EXPECT_EQ(ctx.intRegs[3], 0);
+    EXPECT_EQ(ctx.intRegs[4], 0xff);
+    EXPECT_EQ(ctx.intRegs[5], 0xff);
+    EXPECT_EQ(ctx.intRegs[6], 0xf0);
+    EXPECT_EQ(ctx.intRegs[7], 0x0f);
+    EXPECT_EQ(ctx.intRegs[9], -4);
+    EXPECT_EQ(ctx.intRegs[11], 1);
+}
+
+TEST_F(CoreTest, X0IsHardwiredZero)
+{
+    isa::ProgramBuilder b("t");
+    b.li(0, 99).add(1, 0, 0).halt();
+    auto p = b.build();
+    runOoo1(p);
+    EXPECT_EQ(ctx.intRegs[1], 0);
+}
+
+TEST_F(CoreTest, MemoryRoundTrip)
+{
+    isa::ProgramBuilder b("t");
+    b.li(1, 0x1000)
+        .li(2, -77)
+        .sd(2, 1, 0)
+        .ld(3, 1, 0)
+        .sw(2, 1, 16)
+        .lw(4, 1, 16)
+        .li(5, 200)
+        .sb(5, 1, 32)
+        .lbu(6, 1, 32)
+        .halt();
+    auto p = b.build();
+    runOoo1(p);
+    EXPECT_EQ(ctx.intRegs[3], -77);
+    EXPECT_EQ(ctx.intRegs[4], -77);
+    EXPECT_EQ(ctx.intRegs[6], 200);
+    EXPECT_EQ(image.readI64(0x1000), -77);
+}
+
+TEST_F(CoreTest, FloatingPoint)
+{
+    isa::ProgramBuilder b("t");
+    b.li(1, 3)
+        .fcvtI2F(1, 1)
+        .li(2, 4)
+        .fcvtI2F(2, 2)
+        .fadd(3, 1, 2)
+        .fmul(4, 1, 2)
+        .fdiv(5, 2, 1)
+        .fsub(6, 1, 2)
+        .flt(7, 1, 2)
+        .fle(8, 2, 1)
+        .fcvtF2I(9, 4)
+        .li(10, 0x2000)
+        .fsd(3, 10, 0)
+        .fld(11, 10, 0)
+        .halt();
+    auto p = b.build();
+    runOoo1(p);
+    EXPECT_DOUBLE_EQ(ctx.fpRegs[3], 7.0);
+    EXPECT_DOUBLE_EQ(ctx.fpRegs[4], 12.0);
+    EXPECT_DOUBLE_EQ(ctx.fpRegs[5], 4.0 / 3.0);
+    EXPECT_DOUBLE_EQ(ctx.fpRegs[6], -1.0);
+    EXPECT_EQ(ctx.intRegs[7], 1);
+    EXPECT_EQ(ctx.intRegs[8], 0);
+    EXPECT_EQ(ctx.intRegs[9], 12);
+    EXPECT_DOUBLE_EQ(ctx.fpRegs[11], 7.0);
+}
+
+TEST_F(CoreTest, Atomics)
+{
+    isa::ProgramBuilder b("t");
+    b.li(1, 0x1000)
+        .li(2, 5)
+        .sd(2, 1, 0)
+        .li(3, 3)
+        .amoadd(4, 1, 3)
+        .amoswap(5, 1, 2)
+        .ld(6, 1, 0)
+        .halt();
+    auto p = b.build();
+    runOoo1(p);
+    EXPECT_EQ(ctx.intRegs[4], 5);  // old value
+    EXPECT_EQ(ctx.intRegs[5], 8);  // 5+3 before swap
+    EXPECT_EQ(ctx.intRegs[6], 5);  // swapped back in
+}
+
+TEST_F(CoreTest, LoopSumsCorrectly)
+{
+    isa::ProgramBuilder b("t");
+    b.li(1, 0)
+        .li(2, 0)
+        .li(3, 100)
+        .label("loop")
+        .bge(1, 3, "done")
+        .add(2, 2, 1)
+        .addi(1, 1, 1)
+        .j("loop")
+        .label("done")
+        .halt();
+    auto p = b.build();
+    runOoo1(p);
+    EXPECT_EQ(ctx.intRegs[2], 4950);
+}
+
+TEST_F(CoreTest, DependentChainSlowerThanIndependent)
+{
+    isa::ProgramBuilder dep("dep");
+    dep.li(1, 1);
+    for (int i = 0; i < 200; ++i)
+        dep.mul(1, 1, 1);
+    dep.halt();
+    auto pd = dep.build();
+    Cycle t_dep = runOoo1(pd);
+
+    isa::ProgramBuilder ind("ind");
+    ind.li(1, 1);
+    for (int i = 0; i < 200; ++i)
+        ind.mul(static_cast<isa::RegIndex>(2 + (i % 8)), 1, 1);
+    ind.halt();
+    auto pi = ind.build();
+    Cycle t_ind = runOoo1(pi);
+
+    EXPECT_GT(t_dep, t_ind);
+}
+
+TEST_F(CoreTest, Ooo2FasterOnIlp)
+{
+    isa::ProgramBuilder b("ilp");
+    b.li(1, 1).li(2, 2);
+    for (int i = 0; i < 300; ++i)
+        b.add(static_cast<isa::RegIndex>(3 + (i % 8)), 1, 2);
+    b.halt();
+    auto p = b.build();
+    Cycle t1 = runOoo1(p);
+    Cycle t2 = run(p, CoreParams::ooo2());
+    EXPECT_LT(t2, t1);
+    // A 1-wide core needs at least one cycle per instruction.
+    EXPECT_GE(t1, 300u);
+}
+
+TEST_F(CoreTest, UnpredictableBranchesCostCycles)
+{
+    // Data-dependent branch on pseudo-random bits vs. the same loop
+    // without the branch dependence.
+    auto make = [&](bool branchy) {
+        isa::ProgramBuilder b(branchy ? "br" : "nobr");
+        b.li(1, 0)
+            .li(2, 12345)
+            .li(3, 2000)
+            .li(4, 0)
+            .label("loop")
+            .bge(1, 3, "done")
+            // xorshift-ish scramble
+            .slli(5, 2, 13)
+            .xor_(2, 2, 5)
+            .srli(5, 2, 7)
+            .xor_(2, 2, 5)
+            .andi(6, 2, 1);
+        if (branchy) {
+            b.beq(6, 0, "skip").addi(4, 4, 1).label("skip");
+        } else {
+            b.add(4, 4, 6);
+        }
+        b.addi(1, 1, 1).j("loop").label("done").halt();
+        return b.build();
+    };
+    auto pb = make(true);
+    Cycle t_br = runOoo1(pb);
+    auto mispred = core->mispredicts.value();
+    auto pn = make(false);
+    Cycle t_nb = runOoo1(pn);
+    EXPECT_GT(mispred, 500u); // ~50% of 2000 hard branches
+    EXPECT_GT(t_br, t_nb);
+}
+
+TEST_F(CoreTest, ColdMissesThenWarmHits)
+{
+    isa::ProgramBuilder b("t");
+    b.li(1, 0x1000).li(3, 0);
+    // two passes over 16 lines
+    for (int pass = 0; pass < 2; ++pass)
+        for (int i = 0; i < 16; ++i)
+            b.ld(2, 1, i * 64).add(3, 3, 2);
+    b.halt();
+    auto p = b.build();
+    runOoo1(p);
+    EXPECT_EQ(mem.l1d(0).misses.value(), 16u);
+    EXPECT_GE(mem.l1d(0).hits.value(), 16u);
+}
+
+TEST_F(CoreTest, StoreToLoadForwarding)
+{
+    isa::ProgramBuilder b("t");
+    b.li(1, 0x7000).li(2, 9).sd(2, 1, 0).ld(3, 1, 0).halt();
+    auto p = b.build();
+    runOoo1(p);
+    EXPECT_EQ(ctx.intRegs[3], 9);
+}
+
+TEST_F(CoreTest, CommitsMatchProgramLength)
+{
+    isa::ProgramBuilder b("t");
+    b.li(1, 5).addi(1, 1, 1).addi(1, 1, 1).halt();
+    auto p = b.build();
+    runOoo1(p);
+    EXPECT_EQ(core->committedInsts.value(), 4u);
+    EXPECT_EQ(core->fetchedInsts.value(), 4u);
+}
+
+TEST_F(CoreTest, FenceWaitsForStores)
+{
+    isa::ProgramBuilder b("t");
+    b.li(1, 0x9000).li(2, 3).sd(2, 1, 0).fence().halt();
+    auto p = b.build();
+    Cycle t = runOoo1(p);
+    // The cold store misses to memory (~200+ cycles); the fence must
+    // hold commit until the writeback completes.
+    EXPECT_GT(t, 200u);
+}
+
+} // namespace
+} // namespace remap::cpu
+
+namespace remap::cpu
+{
+namespace
+{
+
+TEST_F(CoreTest, TraceStreamRecordsCommits)
+{
+    isa::ProgramBuilder b("t");
+    b.li(1, 5).addi(1, 1, 1).halt();
+    auto p = b.build();
+    core = std::make_unique<OooCore>(0, CoreParams::ooo1(), &mem,
+                                     &image);
+    std::ostringstream trace;
+    core->setTraceStream(&trace);
+    ctx.id = 0;
+    ctx.reset(&p);
+    core->bindThread(&ctx);
+    Cycle cycle = 0;
+    while (!core->done())
+        core->tick(cycle++);
+    std::string s = trace.str();
+    EXPECT_NE(s.find("li"), std::string::npos);
+    EXPECT_NE(s.find("addi"), std::string::npos);
+    EXPECT_NE(s.find("halt"), std::string::npos);
+    EXPECT_NE(s.find("core0"), std::string::npos);
+    // one line per committed instruction
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+}
+
+} // namespace
+} // namespace remap::cpu

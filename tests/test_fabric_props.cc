@@ -1,0 +1,171 @@
+/** @file Property-based fabric tests: invariants under randomized
+ *  initiation streams, partitionings and function shapes. */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "sim/rng.hh"
+#include "spl/fabric.hh"
+#include "spl/function.hh"
+
+namespace remap::spl
+{
+namespace
+{
+
+struct Shape
+{
+    unsigned partitions;
+    unsigned rows; ///< rows of the test function
+};
+
+class FabricProps : public ::testing::TestWithParam<Shape>
+{
+};
+
+/** Chain function: output = input + rows (one AddImm per row). */
+SplFunction
+chain(unsigned rows)
+{
+    FunctionBuilder b("chain", 1);
+    for (unsigned i = 0; i < rows; ++i)
+        b.row().op(WOp::AddImm, 0, 0, 0, 1);
+    return b.outputs({0}).build();
+}
+
+TEST_P(FabricProps, RandomStreamPreservesFifoPerCoreAndValues)
+{
+    const Shape shape = GetParam();
+    SplParams params;
+    ConfigStore store;
+    ConfigId cfg = store.add(chain(shape.rows));
+    BarrierUnit barriers(params);
+    SplFabric fabric(0, params, &store, &barriers);
+    barriers.attachFabrics({&fabric});
+    for (unsigned c = 0; c < 4; ++c)
+        fabric.threadTable().map(c, c, 0);
+    fabric.setPartitions(shape.partitions);
+
+    Rng rng(shape.partitions * 1000 + shape.rows);
+    std::deque<std::int32_t> expected[4];
+    unsigned sent[4] = {0, 0, 0, 0};
+    unsigned received = 0;
+    const unsigned per_core = 200;
+
+    Cycle now = 0;
+    while (received < 4 * per_core) {
+        // Randomly interleave sends and receives.
+        unsigned c = static_cast<unsigned>(rng.below(4));
+        if (sent[c] < per_core && fabric.canInit(c, -1) &&
+            rng.below(2)) {
+            std::int32_t v =
+                static_cast<std::int32_t>(rng.below(100000));
+            fabric.load(c, 0, v);
+            fabric.init(c, cfg, -1, now);
+            expected[c].push_back(
+                v + static_cast<std::int32_t>(shape.rows));
+            ++sent[c];
+        }
+        for (unsigned d = 0; d < 4; ++d) {
+            if (fabric.outputReady(d, now)) {
+                ASSERT_FALSE(expected[d].empty());
+                EXPECT_EQ(fabric.popOutput(d), expected[d].front());
+                expected[d].pop_front();
+                ++received;
+            }
+        }
+        fabric.tick(now);
+        ++now;
+        ASSERT_LT(now, 4'000'000u) << "fabric wedged";
+    }
+    EXPECT_TRUE(fabric.idle());
+    EXPECT_EQ(fabric.initiations.value(), 4 * per_core);
+    // Row activations: every initiation runs the function's rows.
+    EXPECT_EQ(fabric.rowActivations.value(),
+              std::uint64_t(4 * per_core) * shape.rows);
+}
+
+TEST_P(FabricProps, VirtualizationFlaggedExactlyWhenNeeded)
+{
+    const Shape shape = GetParam();
+    SplParams params;
+    ConfigStore store;
+    ConfigId cfg = store.add(chain(shape.rows));
+    BarrierUnit barriers(params);
+    SplFabric fabric(0, params, &store, &barriers);
+    barriers.attachFabrics({&fabric});
+    fabric.threadTable().map(0, 0, 0);
+    fabric.setPartitions(shape.partitions);
+
+    fabric.load(0, 0, 1);
+    fabric.init(0, cfg, -1, 0);
+    Cycle now = 0;
+    while (!fabric.outputReady(0, now)) {
+        fabric.tick(now);
+        ++now;
+        ASSERT_LT(now, 100000u);
+    }
+    const unsigned part_rows = params.physRows / shape.partitions;
+    if (shape.rows > part_rows)
+        EXPECT_EQ(fabric.virtualizedInits.value(), 1u);
+    else
+        EXPECT_EQ(fabric.virtualizedInits.value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FabricProps,
+    ::testing::Values(Shape{1, 1}, Shape{1, 10}, Shape{1, 24},
+                      Shape{2, 8}, Shape{2, 16}, Shape{4, 4},
+                      Shape{4, 12}, Shape{4, 24}),
+    [](const ::testing::TestParamInfo<Shape> &info) {
+        return "p" + std::to_string(info.param.partitions) + "_r" +
+               std::to_string(info.param.rows);
+    });
+
+TEST(FabricInvariants, BackpressureNeverDropsResults)
+{
+    // Tiny output queue and a consumer that drains very slowly.
+    SplParams params;
+    params.outputQueueWords = 4;
+    ConfigStore store;
+    ConfigId cfg = store.add(functions::passthrough(1));
+    BarrierUnit barriers(params);
+    SplFabric fabric(0, params, &store, &barriers);
+    barriers.attachFabrics({&fabric});
+    for (unsigned c = 0; c < 4; ++c)
+        fabric.threadTable().map(c, c, 0);
+
+    unsigned sent = 0, got = 0;
+    Cycle now = 0;
+    while (got < 100) {
+        if (sent < 100 && fabric.canInit(0, -1)) {
+            fabric.load(0, 0, static_cast<std::int32_t>(sent));
+            fabric.init(0, cfg, -1, now);
+            ++sent;
+        }
+        if (now % 97 == 0 && fabric.outputReady(0, now)) {
+            EXPECT_EQ(fabric.popOutput(0),
+                      static_cast<std::int32_t>(got));
+            ++got;
+        }
+        fabric.tick(now);
+        ++now;
+        ASSERT_LT(now, 10'000'000u);
+    }
+    EXPECT_TRUE(fabric.idle());
+}
+
+TEST(FabricInvariants, ReduceRowsMonotonic)
+{
+    auto fn = functions::globalMin();
+    unsigned prev = 0;
+    for (unsigned n = 2; n <= 16; ++n) {
+        unsigned rows = fn.reduceRows(n);
+        EXPECT_GE(rows, prev);
+        prev = rows;
+    }
+}
+
+} // namespace
+} // namespace remap::spl

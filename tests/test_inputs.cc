@@ -1,0 +1,122 @@
+/** @file Tests for workload input generators and memory helpers. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/inputs.hh"
+#include "workloads/spl_functions.hh"
+
+namespace remap::workloads
+{
+namespace
+{
+
+TEST(AddrAllocator, AlignsAndAdvances)
+{
+    AddrAllocator a(0x1000);
+    Addr x = a.alloc(100, 64);
+    Addr y = a.alloc(8, 64);
+    EXPECT_EQ(x % 64, 0u);
+    EXPECT_EQ(y % 64, 0u);
+    EXPECT_GE(y, x + 100);
+}
+
+TEST(ArrayHelpers, RoundTrip)
+{
+    mem::MemoryImage m;
+    std::vector<std::int32_t> v32 = {1, -2, 3, -4};
+    storeI32Array(m, 0x100, v32);
+    EXPECT_EQ(loadI32Array(m, 0x100, 4), v32);
+
+    std::vector<std::int64_t> v64 = {10, -20};
+    storeI64Array(m, 0x200, v64);
+    EXPECT_EQ(loadI64Array(m, 0x200, 2), v64);
+
+    std::vector<std::uint8_t> v8 = {0, 127, 255};
+    storeU8Array(m, 0x300, v8);
+    EXPECT_EQ(loadU8Array(m, 0x300, 3), v8);
+
+    std::vector<double> vf = {1.5, -2.25};
+    storeF64Array(m, 0x400, vf);
+    EXPECT_DOUBLE_EQ(m.readF64(0x400), 1.5);
+    EXPECT_DOUBLE_EQ(m.readF64(0x408), -2.25);
+}
+
+TEST(Generators, Deterministic)
+{
+    EXPECT_EQ(randomI32(100, -5, 5, 42), randomI32(100, -5, 5, 42));
+    EXPECT_NE(randomI32(100, -5, 5, 42), randomI32(100, -5, 5, 43));
+    EXPECT_EQ(textStream(500, 7), textStream(500, 7));
+    EXPECT_EQ(costMatrix(20, 9), costMatrix(20, 9));
+}
+
+TEST(Generators, RangesRespected)
+{
+    for (auto v : randomI32(1000, -7, 7, 1)) {
+        EXPECT_GE(v, -7);
+        EXPECT_LE(v, 7);
+    }
+    for (auto v : randomU8(1000, 10, 20, 2)) {
+        EXPECT_GE(v, 10);
+        EXPECT_LE(v, 20);
+    }
+}
+
+TEST(TextStream, LooksLikeText)
+{
+    auto t = textStream(5000, 3);
+    ASSERT_EQ(t.size(), 5000u);
+    unsigned letters = 0, seps = 0, newlines = 0;
+    for (auto c : t) {
+        if (c >= 'a' && c <= 'z')
+            ++letters;
+        else if (c == ' ')
+            ++seps;
+        else if (c == '\n')
+            ++newlines;
+        else
+            FAIL() << "unexpected byte " << int(c);
+    }
+    EXPECT_GT(letters, seps);  // words dominate
+    EXPECT_GT(newlines, 0u);
+    EXPECT_GT(seps, 0u);
+}
+
+TEST(CostMatrix, SymmetricZeroDiagonal)
+{
+    const unsigned n = 24;
+    auto m = costMatrix(n, 5);
+    for (unsigned i = 0; i < n; ++i) {
+        EXPECT_EQ(m[i * n + i], 0);
+        for (unsigned j = 0; j < n; ++j) {
+            EXPECT_EQ(m[i * n + j], m[j * n + i]);
+            if (i != j) {
+                EXPECT_GE(m[i * n + j], 1);
+                EXPECT_LE(m[i * n + j], 100);
+            }
+        }
+    }
+}
+
+TEST(SharedLuts, ShapesAndContent)
+{
+    EXPECT_EQ(expLut().size(), 256u);
+    EXPECT_EQ(expLut()[1], 0);
+    EXPECT_EQ(expLut()[2], 1);
+    EXPECT_EQ(expLut()[255], 7);
+    EXPECT_EQ(charClassLut()['a'], 1);
+    EXPECT_EQ(charClassLut()['Z'], 1);
+    EXPECT_EQ(charClassLut()['7'], 1);
+    EXPECT_EQ(charClassLut()[' '], 0);
+    EXPECT_EQ(charClassLut()['\n'], 0);
+    EXPECT_EQ(adpcmStepLut()[0], 7);
+    EXPECT_EQ(adpcmStepLut()[88], 32767);
+    EXPECT_EQ(adpcmStepLut()[255], 32767); // clamped
+    EXPECT_EQ(adpcmIndexLut()[0], -1);
+    EXPECT_EQ(adpcmIndexLut()[7], 8);
+    // huffman: low nibble 0 means escape
+    EXPECT_EQ(huffLut()[0], 0);
+    EXPECT_EQ(huffLut()[1], (1 << 8) | 1);
+}
+
+} // namespace
+} // namespace remap::workloads

@@ -1,0 +1,142 @@
+/** @file Unit tests for the mini-ISA: classification, builder,
+ *  label resolution, disassembly. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/isa.hh"
+
+namespace remap::isa
+{
+namespace
+{
+
+TEST(Instruction, OpClassMapping)
+{
+    Instruction i;
+    i.op = Opcode::ADD;
+    EXPECT_EQ(i.opClass(), OpClass::IntAlu);
+    i.op = Opcode::MUL;
+    EXPECT_EQ(i.opClass(), OpClass::IntMult);
+    i.op = Opcode::DIV;
+    EXPECT_EQ(i.opClass(), OpClass::IntDiv);
+    i.op = Opcode::FADD;
+    EXPECT_EQ(i.opClass(), OpClass::FpAlu);
+    i.op = Opcode::FMUL;
+    EXPECT_EQ(i.opClass(), OpClass::FpMult);
+    i.op = Opcode::LD;
+    EXPECT_EQ(i.opClass(), OpClass::Load);
+    i.op = Opcode::SD;
+    EXPECT_EQ(i.opClass(), OpClass::Store);
+    i.op = Opcode::AMOADD;
+    EXPECT_EQ(i.opClass(), OpClass::Amo);
+    i.op = Opcode::BEQ;
+    EXPECT_EQ(i.opClass(), OpClass::Branch);
+    i.op = Opcode::SPL_INIT;
+    EXPECT_EQ(i.opClass(), OpClass::SplInit);
+    i.op = Opcode::SPL_BAR;
+    EXPECT_EQ(i.opClass(), OpClass::SplInit);
+    i.op = Opcode::HALT;
+    EXPECT_EQ(i.opClass(), OpClass::Halt);
+}
+
+TEST(Instruction, LoadStoreFlags)
+{
+    Instruction i;
+    i.op = Opcode::AMOADD;
+    EXPECT_TRUE(i.isLoad());
+    EXPECT_TRUE(i.isStore());
+    i.op = Opcode::LW;
+    EXPECT_TRUE(i.isLoad());
+    EXPECT_FALSE(i.isStore());
+    i.op = Opcode::FSD;
+    EXPECT_TRUE(i.isStore());
+    EXPECT_FALSE(i.isLoad());
+}
+
+TEST(Instruction, RegisterWriteFlags)
+{
+    Instruction i;
+    i.op = Opcode::ADD;
+    i.rd = 5;
+    EXPECT_TRUE(i.writesIntReg());
+    i.rd = 0; // x0 writes are dropped
+    EXPECT_FALSE(i.writesIntReg());
+    i.op = Opcode::FLD;
+    i.rd = 0; // f0 is a real register
+    EXPECT_TRUE(i.writesFpReg());
+    i.op = Opcode::SPL_STORE;
+    i.rd = 3;
+    EXPECT_TRUE(i.writesIntReg());
+}
+
+TEST(Builder, ResolvesForwardAndBackwardLabels)
+{
+    ProgramBuilder b("t");
+    b.li(1, 0)
+        .label("top")
+        .addi(1, 1, 1)
+        .blt(1, 2, "top")
+        .beq(1, 2, "end")
+        .nop()
+        .label("end")
+        .halt();
+    Program p = b.build();
+    ASSERT_EQ(p.size(), 6u);
+    EXPECT_EQ(p.code[2].target, 1u); // backward to "top"
+    EXPECT_EQ(p.code[3].target, 5u); // forward to "end"
+}
+
+TEST(Builder, EmitsExpectedEncodings)
+{
+    ProgramBuilder b("t");
+    b.addi(3, 4, -7).splLoad(9, 2, 4).splInit(5, 1).splBar(6, 2);
+    Program p = b.build();
+    EXPECT_EQ(p.code[0].op, Opcode::ADDI);
+    EXPECT_EQ(p.code[0].rd, 3);
+    EXPECT_EQ(p.code[0].rs1, 4);
+    EXPECT_EQ(p.code[0].imm, -7);
+    EXPECT_EQ(p.code[1].op, Opcode::SPL_LOAD);
+    EXPECT_EQ(p.code[1].rs2, 9);
+    EXPECT_EQ(p.code[1].imm, 2);
+    EXPECT_EQ(p.code[1].imm2, 4);
+    EXPECT_EQ(p.code[2].op, Opcode::SPL_INIT);
+    EXPECT_EQ(p.code[2].imm, 5);
+    EXPECT_EQ(p.code[2].imm2, 1);
+    EXPECT_EQ(p.code[3].op, Opcode::SPL_BAR);
+    EXPECT_EQ(p.code[3].imm2, 2);
+}
+
+TEST(Builder, MvIsAddiZero)
+{
+    ProgramBuilder b("t");
+    b.mv(7, 8);
+    Program p = b.build();
+    EXPECT_EQ(p.code[0].op, Opcode::ADDI);
+    EXPECT_EQ(p.code[0].imm, 0);
+}
+
+TEST(Disassemble, ContainsMnemonics)
+{
+    ProgramBuilder b("t");
+    b.li(1, 42).label("l").beq(1, 2, "l").halt();
+    Program p = b.build();
+    std::string text = disassemble(p);
+    EXPECT_NE(text.find("li"), std::string::npos);
+    EXPECT_NE(text.find("beq"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(Builder, SourceFlagsForSpl)
+{
+    Instruction i;
+    i.op = Opcode::SPL_LOAD;
+    EXPECT_TRUE(i.readsIntRs2());
+    EXPECT_FALSE(i.readsIntRs1());
+    i.op = Opcode::SPL_STORE;
+    EXPECT_FALSE(i.readsIntRs1());
+    EXPECT_FALSE(i.readsIntRs2());
+}
+
+} // namespace
+} // namespace remap::isa

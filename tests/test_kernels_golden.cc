@@ -1,0 +1,129 @@
+/** @file Parameterized golden-output sweep: every workload x every
+ *  applicable variant must reproduce its golden model bit-exactly at
+ *  reduced problem sizes. This is the broadest integration surface
+ *  in the suite — it exercises cores, caches, coherence, the fabric,
+ *  barriers and the functional-preview machinery together. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/workload.hh"
+
+namespace remap::workloads
+{
+namespace
+{
+
+struct Case
+{
+    const char *workload;
+    Variant variant;
+    unsigned iterations; ///< reduced size for test speed
+    unsigned threads;
+    unsigned problemSize;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const Case &c)
+{
+    return os << c.workload << "/" << variantName(c.variant);
+}
+
+class GoldenSweep : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(GoldenSweep, OutputMatchesGolden)
+{
+    const Case &c = GetParam();
+    RunSpec spec;
+    spec.variant = c.variant;
+    spec.iterations = c.iterations;
+    spec.threads = c.threads;
+    spec.problemSize = c.problemSize;
+    auto run = byName(c.workload).make(spec);
+    auto rr = run.run();
+    EXPECT_FALSE(rr.timedOut);
+    ASSERT_TRUE(run.verify != nullptr);
+    EXPECT_TRUE(run.verify());
+    EXPECT_GT(rr.cycles, 0u);
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    // Compute-only workloads: Seq, SeqOoo2, Comp.
+    struct
+    {
+        const char *name;
+        unsigned iters;
+    } comp[] = {{"g721enc", 500},   {"g721dec", 500},
+                {"mpeg2dec", 1200}, {"mpeg2enc", 8},
+                {"gsmtoast", 3},    {"gsmuntoast", 120},
+                {"libquantum", 1500}};
+    for (const auto &w : comp)
+        for (Variant v :
+             {Variant::Seq, Variant::SeqOoo2, Variant::Comp})
+            cases.push_back({w.name, v, w.iters, 1, 0});
+
+    // Communicating workloads: all seven variants.
+    struct
+    {
+        const char *name;
+        unsigned iters;
+    } comm[] = {{"wc", 2400},   {"unepic", 1600}, {"cjpeg", 1200},
+                {"adpcm", 1500}, {"twolf", 250},  {"hmmer", 6},
+                {"astar", 26}};
+    for (const auto &w : comm)
+        for (Variant v :
+             {Variant::Seq, Variant::SeqOoo2, Variant::Comp,
+              Variant::Comm, Variant::CompComm, Variant::Ooo2Comm,
+              Variant::SwQueue})
+            cases.push_back({w.name, v, w.iters, 1, 0});
+
+    // Barrier workloads at 2 and 8 threads (1 and 2 clusters).
+    for (unsigned p : {2u, 8u}) {
+        for (Variant v : {Variant::SwBarrier, Variant::HwBarrier}) {
+            cases.push_back({"ll2", v, 2, p, 64});
+            cases.push_back({"ll3", v, 2, p, 64});
+            cases.push_back({"ll6", v, 2, p, 24});
+            cases.push_back({"dijkstra", v, 0, p, 40});
+        }
+        cases.push_back(
+            {"ll3", Variant::HwBarrierComp, 2, p, 64});
+        cases.push_back(
+            {"dijkstra", Variant::HwBarrierComp, 0, p, 40});
+    }
+    // Sixteen threads across four clusters.
+    cases.push_back({"ll3", Variant::HwBarrierComp, 2, 16, 64});
+    cases.push_back({"dijkstra", Variant::HwBarrierComp, 0, 16, 48});
+    cases.push_back({"ll2", Variant::HwBarrier, 2, 16, 64});
+    // The Section V-C.2 homogeneous-cluster variant.
+    cases.push_back({"ll3", Variant::HomogBarrier, 2, 6, 96});
+    cases.push_back({"dijkstra", Variant::HomogBarrier, 0, 6, 48});
+    // Sequential barrier baselines.
+    cases.push_back({"ll2", Variant::Seq, 2, 1, 64});
+    cases.push_back({"ll3", Variant::Seq, 2, 1, 64});
+    cases.push_back({"ll6", Variant::Seq, 2, 1, 24});
+    cases.push_back({"dijkstra", Variant::Seq, 0, 1, 40});
+    return cases;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string n = std::string(info.param.workload) + "_" +
+                    variantName(info.param.variant);
+    if (info.param.threads > 1)
+        n += "_p" + std::to_string(info.param.threads);
+    for (char &ch : n)
+        if (!isalnum(static_cast<unsigned char>(ch)))
+            ch = '_';
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, GoldenSweep,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace
+} // namespace remap::workloads

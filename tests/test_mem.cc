@@ -1,0 +1,181 @@
+/** @file Unit tests for the memory hierarchy: functional image,
+ *  cache geometry, MESI transitions, latencies, inclusion. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/mem_system.hh"
+#include "mem/memory_image.hh"
+
+namespace remap::mem
+{
+namespace
+{
+
+TEST(MemoryImage, TypedRoundTrips)
+{
+    MemoryImage m;
+    m.writeI64(0x1000, -123456789012345);
+    EXPECT_EQ(m.readI64(0x1000), -123456789012345);
+    m.writeI32(0x2000, -42);
+    EXPECT_EQ(m.readI32(0x2000), -42);
+    m.writeU8(0x3000, 0xab);
+    EXPECT_EQ(m.readU8(0x3000), 0xab);
+    m.writeF64(0x4000, 3.25);
+    EXPECT_DOUBLE_EQ(m.readF64(0x4000), 3.25);
+}
+
+TEST(MemoryImage, UntouchedMemoryReadsZero)
+{
+    MemoryImage m;
+    EXPECT_EQ(m.readI64(0xdead000), 0);
+}
+
+TEST(MemoryImage, CrossPageAccess)
+{
+    MemoryImage m;
+    Addr a = MemoryImage::pageSize - 4; // straddles a page boundary
+    m.writeI64(a, 0x1122334455667788);
+    EXPECT_EQ(m.readI64(a), 0x1122334455667788);
+}
+
+TEST(Cache, HitAfterAllocate)
+{
+    Cache c(CacheParams{"t", 8 * 1024, 2, 64, 2});
+    Addr victim;
+    Mesi vstate;
+    auto *line = c.allocate(0x1000, &victim, &vstate);
+    line->state = Mesi::Exclusive;
+    EXPECT_NE(c.lookup(0x1000), nullptr);
+    EXPECT_NE(c.lookup(0x103f), nullptr); // same 64B line
+    EXPECT_EQ(c.lookup(0x1040), nullptr); // next line
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64 sets: three lines mapping to set 0.
+    Cache c(CacheParams{"t", 8 * 1024, 2, 64, 2});
+    const Addr stride = 64 * 64; // set stride
+    Addr victim;
+    Mesi vstate;
+    c.allocate(0, &victim, &vstate)->state = Mesi::Exclusive;
+    c.allocate(stride, &victim, &vstate)->state = Mesi::Exclusive;
+    // Touch line 0 so `stride` is LRU.
+    c.lookup(0);
+    c.allocate(2 * stride, &victim, &vstate)->state =
+        Mesi::Exclusive;
+    EXPECT_EQ(victim, stride);
+    EXPECT_EQ(vstate, Mesi::Exclusive);
+    EXPECT_NE(c.lookup(0), nullptr);
+    EXPECT_EQ(c.lookup(stride), nullptr);
+}
+
+TEST(Cache, ModifiedVictimCountsWriteback)
+{
+    Cache c(CacheParams{"t", 128, 1, 64, 1}); // 2 sets, direct-mapped
+    Addr victim;
+    Mesi vstate;
+    c.allocate(0, &victim, &vstate)->state = Mesi::Modified;
+    c.allocate(128, &victim, &vstate);
+    EXPECT_EQ(vstate, Mesi::Modified);
+    EXPECT_EQ(c.writebacks.value(), 1u);
+}
+
+TEST(Cache, InvalidateReportsPreviousState)
+{
+    Cache c(CacheParams{"t", 8 * 1024, 2, 64, 2});
+    Addr victim;
+    Mesi vstate;
+    c.allocate(0x40, &victim, &vstate)->state = Mesi::Modified;
+    EXPECT_EQ(c.invalidate(0x40), Mesi::Modified);
+    EXPECT_EQ(c.invalidate(0x40), Mesi::Invalid);
+}
+
+class MemSystemTest : public ::testing::Test
+{
+  protected:
+    MemSystemTest() : mem(2) {}
+    MemSystem mem;
+};
+
+TEST_F(MemSystemTest, ColdMissGoesToMemory)
+{
+    Cycle done = mem.access(0, 0x1000, AccessKind::Read, 0);
+    // L1 (2) + L2 (10) + bus + 200-cycle memory
+    EXPECT_GE(done, 200u);
+    EXPECT_EQ(mem.memAccesses.value(), 1u);
+}
+
+TEST_F(MemSystemTest, HitIsL1Latency)
+{
+    Cycle t1 = mem.access(0, 0x1000, AccessKind::Read, 0);
+    Cycle t2 = mem.access(0, 0x1000, AccessKind::Read, t1);
+    EXPECT_EQ(t2 - t1, 2u); // L1D hit
+    EXPECT_EQ(mem.l1d(0).hits.value(), 1u);
+}
+
+TEST_F(MemSystemTest, ReadAfterRemoteWriteTransfersCacheToCache)
+{
+    Cycle t = mem.access(0, 0x1000, AccessKind::Write, 0);
+    Cycle t2 = mem.access(1, 0x1000, AccessKind::Read, t);
+    EXPECT_EQ(mem.cacheToCacheTransfers.value(), 1u);
+    EXPECT_GT(t2, t);
+    // The remote M copy was downgraded to Shared.
+    EXPECT_EQ(mem.l2(0).probe(0x1000)->state, Mesi::Shared);
+    EXPECT_EQ(mem.l2(1).probe(0x1000)->state, Mesi::Shared);
+}
+
+TEST_F(MemSystemTest, WriteInvalidatesRemoteCopies)
+{
+    Cycle t = mem.access(0, 0x1000, AccessKind::Read, 0);
+    t = mem.access(1, 0x1000, AccessKind::Read, t);
+    t = mem.access(1, 0x1000, AccessKind::Write, t);
+    EXPECT_EQ(mem.l2(0).probe(0x1000), nullptr);
+    EXPECT_EQ(mem.l1d(0).probe(0x1000), nullptr); // inclusion
+    EXPECT_EQ(mem.l2(1).probe(0x1000)->state, Mesi::Modified);
+}
+
+TEST_F(MemSystemTest, SharedUpgradeUsesBusUpgrade)
+{
+    Cycle t = mem.access(0, 0x1000, AccessKind::Read, 0);
+    t = mem.access(1, 0x1000, AccessKind::Read, t);
+    auto upgrades_before = mem.upgrades.value();
+    mem.access(0, 0x1000, AccessKind::Write, t);
+    EXPECT_EQ(mem.upgrades.value(), upgrades_before + 1);
+}
+
+TEST_F(MemSystemTest, ExclusiveSilentUpgrade)
+{
+    Cycle t = mem.access(0, 0x1000, AccessKind::Read, 0);
+    ASSERT_EQ(mem.l2(0).probe(0x1000)->state, Mesi::Exclusive);
+    auto bus_before = mem.busTransactions.value();
+    Cycle t2 = mem.access(0, 0x1000, AccessKind::Write, t);
+    EXPECT_EQ(t2 - t, 2u); // silent E->M in L1/L2
+    EXPECT_EQ(mem.busTransactions.value(), bus_before);
+}
+
+TEST_F(MemSystemTest, IFetchUsesICache)
+{
+    mem.access(0, 0x8000, AccessKind::IFetch, 0);
+    EXPECT_EQ(mem.l1i(0).misses.value(), 1u);
+    EXPECT_EQ(mem.l1d(0).misses.value(), 0u);
+}
+
+TEST_F(MemSystemTest, FlushCoreDropsAllLines)
+{
+    mem.access(0, 0x1000, AccessKind::Read, 0);
+    mem.flushCore(0);
+    EXPECT_EQ(mem.l2(0).probe(0x1000), nullptr);
+    EXPECT_EQ(mem.l1d(0).probe(0x1000), nullptr);
+}
+
+TEST_F(MemSystemTest, AmoActsAsWrite)
+{
+    Cycle t = mem.access(1, 0x1000, AccessKind::Read, 0);
+    mem.access(0, 0x1000, AccessKind::Amo, t);
+    EXPECT_EQ(mem.l2(1).probe(0x1000), nullptr);
+    EXPECT_EQ(mem.l2(0).probe(0x1000)->state, Mesi::Modified);
+}
+
+} // namespace
+} // namespace remap::mem

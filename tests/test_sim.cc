@@ -1,0 +1,106 @@
+/** @file Unit tests for the simulation kernel (stats, RNG, clocks). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace remap
+{
+namespace
+{
+
+TEST(StatCounter, StartsAtZeroAndAccumulates)
+{
+    StatCounter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatAverage, MeanOfSamples)
+{
+    StatAverage a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(StatHistogram, BucketsAndOverflow)
+{
+    StatHistogram h(4, 10.0);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(1000.0); // lands in the last bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup g("core0");
+    StatCounter c;
+    c += 7;
+    g.addCounter("commits", &c);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "core0.commits 7\n");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differs = false;
+    for (int i = 0; i < 10; ++i)
+        differs |= (a.next() != b.next());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(99);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(ClockParams, Ratios)
+{
+    ClockParams c;
+    EXPECT_EQ(c.coreCyclesPerSplCycle(), 4u);
+    EXPECT_DOUBLE_EQ(c.cyclesToSeconds(2'000'000'000), 1.0);
+}
+
+} // namespace
+} // namespace remap

@@ -1,0 +1,197 @@
+/** @file Unit tests for SPL row programs: builder constraints,
+ *  evaluation semantics, reductions, and the canonical functions. */
+
+#include <gtest/gtest.h>
+
+#include "spl/function.hh"
+#include "workloads/spl_functions.hh"
+
+namespace remap::spl
+{
+namespace
+{
+
+TEST(FunctionBuilder, RowPackingLimit)
+{
+    FunctionBuilder b("t", 4);
+    b.row();
+    for (unsigned i = 0; i < Row::maxWordOpsPerRow; ++i)
+        b.op(WOp::Mov, static_cast<std::uint8_t>(10 + i),
+             static_cast<std::uint8_t>(i));
+    SplFunction f = b.outputs({10}).build();
+    EXPECT_EQ(f.rows(), 1u);
+    EXPECT_EQ(f.rowProgram()[0].ops.size(), 4u);
+}
+
+TEST(FunctionBuilder, RowsReadPreRowValues)
+{
+    // Within a row, ops see the register values from before the row.
+    FunctionBuilder b("t", 2);
+    b.row()
+        .op(WOp::Add, 0, 0, 1)  // r0 = r0 + r1
+        .op(WOp::Mov, 2, 0);    // r2 = old r0, not the sum
+    SplFunction f = b.outputs({0, 2}).build();
+    auto out = f.evaluate({5, 7});
+    EXPECT_EQ(out[0], 12);
+    EXPECT_EQ(out[1], 5);
+}
+
+TEST(SplFunction, WordOpSemantics)
+{
+    FunctionBuilder b("t", 2);
+    b.row()
+        .op(WOp::Sub, 10, 0, 1)
+        .op(WOp::Min, 11, 0, 1)
+        .op(WOp::Max, 12, 0, 1)
+        .op(WOp::Xor, 13, 0, 1);
+    b.row()
+        .op(WOp::SraImm, 14, 10, 0, 31)
+        .op(WOp::ShlImm, 15, 1, 0, 4)
+        .op(WOp::Abs, 16, 10)
+        .op(WOp::CmpGe, 17, 0, 1);
+    SplFunction f = b.outputs({10, 11, 12, 13, 14, 15, 16, 17})
+                        .build();
+    auto out = f.evaluate({3, 9});
+    EXPECT_EQ(out[0], -6);
+    EXPECT_EQ(out[1], 3);
+    EXPECT_EQ(out[2], 9);
+    EXPECT_EQ(out[3], 3 ^ 9);
+    EXPECT_EQ(out[4], -1);
+    EXPECT_EQ(out[5], 9 << 4);
+    EXPECT_EQ(out[6], 6);
+    EXPECT_EQ(out[7], 0);
+}
+
+TEST(SplFunction, VariableShiftsAndMul)
+{
+    FunctionBuilder b("t", 3);
+    b.row()
+        .op(WOp::ShlVar, 10, 0, 2)
+        .op(WOp::ShrVar, 11, 0, 2);
+    b.row().op(WOp::Mul, 12, 0, 1);
+    SplFunction f = b.outputs({10, 11, 12}).build();
+    auto out = f.evaluate({0x100, 3, 4});
+    EXPECT_EQ(out[0], 0x1000);
+    EXPECT_EQ(out[1], 0x10);
+    EXPECT_EQ(out[2], 0x300);
+}
+
+TEST(SplFunction, MulWrapsAt32Bits)
+{
+    FunctionBuilder b("t", 2);
+    b.row().op(WOp::Mul, 10, 0, 1);
+    SplFunction f = b.outputs({10}).build();
+    auto out = f.evaluate({1 << 20, 1 << 20});
+    EXPECT_EQ(out[0], 0); // 2^40 wraps to 0
+}
+
+TEST(SplFunction, Lut8Semantics)
+{
+    std::vector<std::int32_t> table(256);
+    for (int i = 0; i < 256; ++i)
+        table[i] = i * 3;
+    FunctionBuilder b("t", 1);
+    b.row().op(WOp::Lut8, 10, 0);
+    SplFunction f = b.lut(std::move(table)).outputs({10}).build();
+    EXPECT_EQ(f.evaluate({7})[0], 21);
+    EXPECT_EQ(f.evaluate({0x107})[0], 21); // only the low byte
+}
+
+TEST(Reduce, GlobalMinTree)
+{
+    SplFunction f = functions::globalMin();
+    EXPECT_TRUE(f.isReduce());
+    auto out = f.evaluateReduce({{5}, {3}, {9}, {7}});
+    EXPECT_EQ(out[0], 3);
+    // Odd participant counts fold the leftover in.
+    out = f.evaluateReduce({{5}, {3}, {1}});
+    EXPECT_EQ(out[0], 1);
+    // Single participant passes through.
+    out = f.evaluateReduce({{42}});
+    EXPECT_EQ(out[0], 42);
+}
+
+TEST(Reduce, GlobalSumAndRows)
+{
+    SplFunction f = functions::globalSum();
+    auto out = f.evaluateReduce({{1}, {2}, {3}, {4}});
+    EXPECT_EQ(out[0], 10);
+    EXPECT_EQ(f.reduceRows(2), 1u);
+    EXPECT_EQ(f.reduceRows(4), 2u);
+    EXPECT_EQ(f.reduceRows(16), 4u);
+}
+
+TEST(Functions, PassthroughIdentity)
+{
+    SplFunction f = functions::passthrough(3);
+    auto out = f.evaluate({7, -2, 9});
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 7);
+    EXPECT_EQ(out[1], -2);
+    EXPECT_EQ(out[2], 9);
+    EXPECT_EQ(f.rows(), 1u);
+}
+
+TEST(Functions, HmmerMcMatchesFigure5Semantics)
+{
+    const std::int32_t neg = -100000000;
+    SplFunction f = functions::hmmerMc(neg);
+    EXPECT_EQ(f.rows(), 10u); // Fig. 6 shows ten rows
+    // mpp tpmm ip tpim dpp tpdm xmb bp ms
+    auto out = f.evaluate({10, 20, 5, 1, 50, -10, 7, 2, 100});
+    // max(10+20, 5+1, 50-10, 7+2) + 100 = 140
+    EXPECT_EQ(out[0], 140);
+    // Clamp path.
+    out = f.evaluate(
+        {neg, 0, neg, 0, neg, 0, neg, 0, -5});
+    EXPECT_EQ(out[0], neg);
+}
+
+TEST(Functions, MinOfAndSumOf)
+{
+    auto mn = workloads::minOf(4);
+    EXPECT_EQ(mn.evaluate({4, 2, 8, 6})[0], 2);
+    auto sm = workloads::sumOf(3);
+    EXPECT_EQ(sm.evaluate({4, 2, 8})[0], 14);
+    // log-depth rows
+    EXPECT_EQ(mn.rows(), 2u);
+}
+
+TEST(Functions, WorkloadFunctionsHaveSaneRowCounts)
+{
+    EXPECT_GE(workloads::g721Fmult().rows(), 8u);
+    EXPECT_LE(workloads::g721Fmult().rows(), 16u);
+    EXPECT_EQ(workloads::dist1Sad4().rows(), 4u);
+    EXPECT_EQ(workloads::twolfMinMax4().rows(), 2u);
+    EXPECT_EQ(workloads::gsmLattice4().rows(), 24u);
+}
+
+TEST(Functions, AdpcmDeltaMatchesScalar)
+{
+    auto f = workloads::adpcmDelta();
+    for (int d = 0; d < 16; ++d) {
+        for (std::int32_t step : {7, 100, 32767}) {
+            std::int32_t vpdiff = step >> 3;
+            if (d & 4)
+                vpdiff += step;
+            if (d & 2)
+                vpdiff += step >> 1;
+            if (d & 1)
+                vpdiff += step >> 2;
+            std::int32_t want = (d & 8) ? -vpdiff : vpdiff;
+            EXPECT_EQ(f.evaluate({d, step})[0], want)
+                << "d=" << d << " step=" << step;
+        }
+    }
+}
+
+TEST(Functions, QuantumGateFlipsOnlyWhenControlled)
+{
+    auto f = workloads::quantumGate(0x12, 0x40);
+    EXPECT_EQ(f.evaluate({0x12})[0], 0x52);
+    EXPECT_EQ(f.evaluate({0x10})[0], 0x10);
+    EXPECT_EQ(f.evaluate({0x53})[0], 0x13);
+}
+
+} // namespace
+} // namespace remap::spl

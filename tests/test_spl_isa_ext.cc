@@ -1,0 +1,209 @@
+/** @file Tests for the SPL ISA extension on a full system: the
+ *  register-sourced and memory-operand queue instructions, commit
+ *  stalls, and value integrity through the decoupled interface. */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "isa/builder.hh"
+#include "spl/function.hh"
+
+namespace remap
+{
+namespace
+{
+
+using isa::ProgramBuilder;
+
+TEST(SplIsaExt, SplLoadMReadsMemoryIntoQueue)
+{
+    sys::System sys(sys::SystemConfig::splCluster());
+    ConfigId pass =
+        sys.registerFunction(spl::functions::passthrough(2));
+    sys.memory().writeI32(0x1000, 111);
+    sys.memory().writeI32(0x1004, -222);
+    ProgramBuilder b("t");
+    b.li(1, 0x1000)
+        .splLoadM(1, 0, 0)
+        .splLoadM(1, 4, 1)
+        .splInit(pass)
+        .splStore(2, 0)
+        .splStore(3, 0)
+        .li(4, 0x2000)
+        .sd(2, 4, 0)
+        .sd(3, 4, 8)
+        .halt();
+    auto p = b.build();
+    auto &t = sys.createThread(&p);
+    sys.mapThread(t.id, 0);
+    ASSERT_FALSE(sys.run(1'000'000).timedOut);
+    EXPECT_EQ(sys.memory().readI64(0x2000), 111);
+    EXPECT_EQ(sys.memory().readI64(0x2008), -222);
+}
+
+TEST(SplIsaExt, SplLoadMBZeroExtendsBytes)
+{
+    sys::System sys(sys::SystemConfig::splCluster());
+    ConfigId pass =
+        sys.registerFunction(spl::functions::passthrough(1));
+    sys.memory().writeU8(0x1000, 0xfe);
+    ProgramBuilder b("t");
+    b.li(1, 0x1000)
+        .splLoadMB(1, 0, 0)
+        .splInit(pass)
+        .splStore(2, 0)
+        .li(4, 0x2000)
+        .sd(2, 4, 0)
+        .halt();
+    auto p = b.build();
+    auto &t = sys.createThread(&p);
+    sys.mapThread(t.id, 0);
+    ASSERT_FALSE(sys.run(1'000'000).timedOut);
+    EXPECT_EQ(sys.memory().readI64(0x2000), 0xfe);
+}
+
+TEST(SplIsaExt, SplStoreMWritesResultToMemory)
+{
+    sys::System sys(sys::SystemConfig::splCluster());
+    spl::FunctionBuilder fb("add2", 2);
+    fb.row().op(spl::WOp::Add, 2, 0, 1);
+    ConfigId cfg = sys.registerFunction(fb.outputs({2}).build());
+    ProgramBuilder b("t");
+    b.li(1, 40)
+        .li(2, 2)
+        .splLoad(1, 0)
+        .splLoad(2, 1)
+        .splInit(cfg)
+        .li(3, 0x3000)
+        .splStoreM(3, 4)
+        .halt();
+    auto p = b.build();
+    auto &t = sys.createThread(&p);
+    sys.mapThread(t.id, 0);
+    ASSERT_FALSE(sys.run(1'000'000).timedOut);
+    EXPECT_EQ(sys.memory().readI32(0x3004), 42);
+}
+
+TEST(SplIsaExt, LoadAfterSplStoreMForwardsCorrectly)
+{
+    // A regular load following spl_storem to the same address must
+    // observe the stored value (store-queue forwarding path).
+    sys::System sys(sys::SystemConfig::splCluster());
+    ConfigId pass =
+        sys.registerFunction(spl::functions::passthrough(1));
+    ProgramBuilder b("t");
+    b.li(1, 77)
+        .splLoad(1, 0)
+        .splInit(pass)
+        .li(3, 0x3000)
+        .splStoreM(3, 0)
+        .lw(4, 3, 0)
+        .li(5, 0x4000)
+        .sd(4, 5, 0)
+        .halt();
+    auto p = b.build();
+    auto &t = sys.createThread(&p);
+    sys.mapThread(t.id, 0);
+    ASSERT_FALSE(sys.run(1'000'000).timedOut);
+    EXPECT_EQ(sys.memory().readI64(0x4000), 77);
+}
+
+TEST(SplIsaExt, PipelinedStreamKeepsFifoOrder)
+{
+    // Many in-flight initiations; results must come back in order.
+    sys::System sys(sys::SystemConfig::splCluster());
+    spl::FunctionBuilder fb("inc", 1);
+    fb.row().op(spl::WOp::AddImm, 1, 0, 0, 1000);
+    ConfigId cfg = sys.registerFunction(fb.outputs({1}).build());
+    const int n = 64;
+    ProgramBuilder b("t");
+    b.li(1, 0).li(3, n).li(4, 0x5000);
+    b.label("loop")
+        .bge(1, 3, "done")
+        .splLoad(1, 0)
+        .splInit(cfg)
+        .slli(5, 1, 2)
+        .add(5, 4, 5)
+        .splStoreM(5, 0)
+        .addi(1, 1, 1)
+        .j("loop")
+        .label("done")
+        .halt();
+    auto p = b.build();
+    auto &t = sys.createThread(&p);
+    sys.mapThread(t.id, 0);
+    ASSERT_FALSE(sys.run(2'000'000).timedOut);
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(sys.memory().readI32(0x5000 + 4 * i), 1000 + i);
+}
+
+TEST(SplIsaExt, ByteSimdOpsMatchScalar)
+{
+    // SadB4 through a full system run.
+    sys::System sys(sys::SystemConfig::splCluster());
+    spl::FunctionBuilder fb("sad", 2);
+    fb.row().op(spl::WOp::SadB4, 2, 0, 1);
+    ConfigId cfg = sys.registerFunction(fb.outputs({2}).build());
+    sys.memory().writeI32(0x1000, 0x10203040);
+    sys.memory().writeI32(0x1004, 0x40302010);
+    ProgramBuilder b("t");
+    b.li(1, 0x1000)
+        .splLoadM(1, 0, 0)
+        .splLoadM(1, 4, 1)
+        .splInit(cfg)
+        .li(3, 0x2000)
+        .splStoreM(3, 0)
+        .halt();
+    auto p = b.build();
+    auto &t = sys.createThread(&p);
+    sys.mapThread(t.id, 0);
+    ASSERT_FALSE(sys.run(1'000'000).timedOut);
+    // |0x40-0x10| * 2 + |0x30-0x20| * 2 = 0x60 + 0x20
+    EXPECT_EQ(sys.memory().readI32(0x2000), 0x80);
+}
+
+TEST(SplIsaExt, ResidentConfigsAvoidReloadCost)
+{
+    // Alternating between two small resident configurations must be
+    // far cheaper than the full reload penalty would predict.
+    auto run_alternating = [&](unsigned resident) {
+        sys::SystemConfig cfg = sys::SystemConfig::splCluster();
+        cfg.clusters[0].splParams.residentConfigsPerPartition =
+            resident;
+        sys::System sys(cfg);
+        ConfigId a =
+            sys.registerFunction(spl::functions::passthrough(1));
+        spl::FunctionBuilder fb("neg", 1);
+        fb.row().op(spl::WOp::Sub, 1, 2, 0); // 0 - x
+        ConfigId b2 = sys.registerFunction(fb.outputs({1}).build());
+        ProgramBuilder b("t");
+        b.li(1, 0).li(3, 50);
+        b.label("loop")
+            .bge(1, 3, "done")
+            .splLoad(1, 0)
+            .splInit(a)
+            .splStore(4, 0)
+            .splLoad(1, 0)
+            .splInit(b2)
+            .splStore(5, 0)
+            .addi(1, 1, 1)
+            .j("loop")
+            .label("done")
+            .halt();
+        auto p = b.build();
+        auto &t = sys.createThread(&p);
+        sys.mapThread(t.id, 0);
+        auto r = sys.run(10'000'000);
+        EXPECT_FALSE(r.timedOut);
+        return std::make_pair(r.cycles,
+                              sys.fabric(0).configSwitches.value());
+    };
+    auto [cycles_resident, switches_resident] = run_alternating(4);
+    auto [cycles_thrash, switches_thrash] = run_alternating(1);
+    EXPECT_LE(switches_resident, 2u);  // one load each
+    EXPECT_GE(switches_thrash, 90u);   // reload on every alternation
+    EXPECT_LT(cycles_resident, cycles_thrash);
+}
+
+} // namespace
+} // namespace remap

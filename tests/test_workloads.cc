@@ -1,0 +1,176 @@
+/** @file Workload-layer tests: registry integrity (Table III) and
+ *  detailed checks of representative kernels. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/workload.hh"
+
+namespace remap::workloads
+{
+namespace
+{
+
+TEST(Registry, MatchesTableThree)
+{
+    const auto &regs = registry();
+    EXPECT_EQ(regs.size(), 18u); // 7 compute + 7 comm + 4 barrier
+    EXPECT_EQ(computeOnlyNames().size(), 7u);
+    EXPECT_EQ(commNames().size(), 7u);
+    EXPECT_EQ(barrierNames().size(), 4u);
+
+    // Spot-check Table III exec fractions.
+    EXPECT_DOUBLE_EQ(byName("hmmer").execFraction, 0.85);
+    EXPECT_DOUBLE_EQ(byName("adpcm").execFraction, 0.99);
+    EXPECT_DOUBLE_EQ(byName("g721enc").execFraction, 0.46);
+    EXPECT_DOUBLE_EQ(byName("mpeg2enc").execFraction, 0.70);
+    EXPECT_DOUBLE_EQ(byName("unepic").execFraction, 0.22);
+    EXPECT_EQ(byName("wc").mode, Mode::CommComp);
+    EXPECT_EQ(byName("ll3").mode, Mode::Barrier);
+    EXPECT_EQ(byName("libquantum").mode, Mode::ComputeOnly);
+}
+
+TEST(Registry, ByNameFindsEveryEntry)
+{
+    for (const auto &w : registry())
+        EXPECT_EQ(byName(w.name).name, w.name);
+}
+
+TEST(Hmmer, SeqMatchesGolden)
+{
+    RunSpec spec;
+    spec.variant = Variant::Seq;
+    spec.iterations = 4; // rows
+    auto run = makeHmmer(spec);
+    auto rr = run.run();
+    EXPECT_FALSE(rr.timedOut);
+    EXPECT_TRUE(run.verify());
+    EXPECT_GT(rr.cycles, 0u);
+}
+
+TEST(Hmmer, CompCommFasterThanCommAlone)
+{
+    auto cycles = [&](Variant v) {
+        RunSpec spec;
+        spec.variant = v;
+        spec.iterations = 8;
+        auto run = makeHmmer(spec);
+        auto rr = run.run();
+        EXPECT_TRUE(run.verify()) << variantName(v);
+        return rr.cycles;
+    };
+    Cycle seq = cycles(Variant::Seq);
+    Cycle comm = cycles(Variant::Comm);
+    Cycle compcomm = cycles(Variant::CompComm);
+    // Fig. 10: integrating computation with communication beats
+    // communication alone, which beats sequential.
+    EXPECT_LT(compcomm, comm);
+    EXPECT_LT(comm, seq);
+}
+
+TEST(Adpcm, AllVariantsMatchGolden)
+{
+    for (Variant v : {Variant::Seq, Variant::SeqOoo2, Variant::Comp,
+                      Variant::Comm, Variant::CompComm,
+                      Variant::Ooo2Comm, Variant::SwQueue}) {
+        RunSpec spec;
+        spec.variant = v;
+        spec.iterations = 1200;
+        auto run = makeAdpcm(spec);
+        auto rr = run.run();
+        EXPECT_FALSE(rr.timedOut) << variantName(v);
+        EXPECT_TRUE(run.verify()) << variantName(v);
+    }
+}
+
+TEST(Adpcm, SwQueueSlowerThanSplComm)
+{
+    auto cycles = [&](Variant v) {
+        RunSpec spec;
+        spec.variant = v;
+        spec.iterations = 2000;
+        auto run = makeAdpcm(spec);
+        auto rr = run.run();
+        return rr.cycles;
+    };
+    // Section V-B: software queues are drastically slower.
+    EXPECT_GT(cycles(Variant::SwQueue), cycles(Variant::Comm));
+}
+
+TEST(ComputeOnly, ContentionSlowsSharedFabric)
+{
+    auto per_copy_cycles = [&](unsigned copies) {
+        RunSpec spec;
+        spec.variant = Variant::Comp;
+        spec.copies = copies;
+        spec.iterations = 800;
+        auto run = makeG721(spec, true);
+        auto rr = run.run();
+        EXPECT_TRUE(run.verify());
+        return rr.cycles;
+    };
+    Cycle alone = per_copy_cycles(1);
+    Cycle contended = per_copy_cycles(4);
+    EXPECT_GT(contended, alone); // 4-way sharing costs something
+    EXPECT_LT(contended, 4 * alone); // but far less than 4x
+}
+
+TEST(Livermore, Ll3AllVariantsMatchGolden)
+{
+    for (Variant v : {Variant::Seq, Variant::SwBarrier,
+                      Variant::HwBarrier, Variant::HwBarrierComp}) {
+        RunSpec spec;
+        spec.variant = v;
+        spec.problemSize = 128;
+        spec.threads = 4;
+        spec.iterations = 3;
+        auto run = makeLivermore(spec, 3);
+        auto rr = run.run();
+        EXPECT_FALSE(rr.timedOut) << variantName(v);
+        EXPECT_TRUE(run.verify()) << variantName(v);
+    }
+}
+
+TEST(Livermore, Ll3SixteenThreadsMultiCluster)
+{
+    RunSpec spec;
+    spec.variant = Variant::HwBarrierComp;
+    spec.problemSize = 256;
+    spec.threads = 16;
+    spec.iterations = 2;
+    auto run = makeLivermore(spec, 3);
+    auto rr = run.run();
+    EXPECT_FALSE(rr.timedOut);
+    EXPECT_TRUE(run.verify());
+}
+
+TEST(Dijkstra, VariantsMatchGoldenAtEightThreads)
+{
+    for (Variant v : {Variant::Seq, Variant::SwBarrier,
+                      Variant::HwBarrier, Variant::HwBarrierComp}) {
+        RunSpec spec;
+        spec.variant = v;
+        spec.problemSize = 40;
+        spec.threads = 8;
+        auto run = makeDijkstra(spec);
+        auto rr = run.run();
+        EXPECT_FALSE(rr.timedOut) << variantName(v);
+        EXPECT_TRUE(run.verify()) << variantName(v);
+    }
+}
+
+TEST(Dijkstra, HwBarrierBeatsSwBarrier)
+{
+    auto cycles = [&](Variant v) {
+        RunSpec spec;
+        spec.variant = v;
+        spec.problemSize = 40;
+        spec.threads = 4;
+        auto run = makeDijkstra(spec);
+        return run.run().cycles;
+    };
+    EXPECT_LT(cycles(Variant::HwBarrier),
+              cycles(Variant::SwBarrier));
+}
+
+} // namespace
+} // namespace remap::workloads
