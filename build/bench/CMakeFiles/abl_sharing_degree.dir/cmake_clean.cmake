@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sharing_degree.dir/abl_sharing_degree.cc.o"
+  "CMakeFiles/abl_sharing_degree.dir/abl_sharing_degree.cc.o.d"
+  "abl_sharing_degree"
+  "abl_sharing_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sharing_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

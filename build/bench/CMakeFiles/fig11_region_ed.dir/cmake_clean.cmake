@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_region_ed.dir/fig11_region_ed.cc.o"
+  "CMakeFiles/fig11_region_ed.dir/fig11_region_ed.cc.o.d"
+  "fig11_region_ed"
+  "fig11_region_ed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_region_ed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_barrier_cycles.dir/fig12_barrier_cycles.cc.o"
+  "CMakeFiles/fig12_barrier_cycles.dir/fig12_barrier_cycles.cc.o.d"
+  "fig12_barrier_cycles"
+  "fig12_barrier_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_barrier_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

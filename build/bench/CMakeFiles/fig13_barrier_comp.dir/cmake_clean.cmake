@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_barrier_comp.dir/fig13_barrier_comp.cc.o"
+  "CMakeFiles/fig13_barrier_comp.dir/fig13_barrier_comp.cc.o.d"
+  "fig13_barrier_comp"
+  "fig13_barrier_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_barrier_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_barrier_ed.dir/fig14_barrier_ed.cc.o"
+  "CMakeFiles/fig14_barrier_ed.dir/fig14_barrier_ed.cc.o.d"
+  "fig14_barrier_ed"
+  "fig14_barrier_ed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_barrier_ed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

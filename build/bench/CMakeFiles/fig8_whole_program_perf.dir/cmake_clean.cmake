@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_whole_program_perf.dir/fig8_whole_program_perf.cc.o"
+  "CMakeFiles/fig8_whole_program_perf.dir/fig8_whole_program_perf.cc.o.d"
+  "fig8_whole_program_perf"
+  "fig8_whole_program_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_whole_program_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_whole_program_perf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_whole_program_ed.dir/fig9_whole_program_ed.cc.o"
+  "CMakeFiles/fig9_whole_program_ed.dir/fig9_whole_program_ed.cc.o.d"
+  "fig9_whole_program_ed"
+  "fig9_whole_program_ed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_whole_program_ed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

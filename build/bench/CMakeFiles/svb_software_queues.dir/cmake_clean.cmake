@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svb_software_queues.dir/svb_software_queues.cc.o"
+  "CMakeFiles/svb_software_queues.dir/svb_software_queues.cc.o.d"
+  "svb_software_queues"
+  "svb_software_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svb_software_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

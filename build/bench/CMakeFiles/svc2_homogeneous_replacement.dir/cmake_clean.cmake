@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc2_homogeneous_replacement.dir/svc2_homogeneous_replacement.cc.o"
+  "CMakeFiles/svc2_homogeneous_replacement.dir/svc2_homogeneous_replacement.cc.o.d"
+  "svc2_homogeneous_replacement"
+  "svc2_homogeneous_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc2_homogeneous_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

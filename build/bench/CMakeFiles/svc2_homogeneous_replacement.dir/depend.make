@@ -1,0 +1,2 @@
+# Empty dependencies file for svc2_homogeneous_replacement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_dijkstra.dir/barrier_dijkstra.cpp.o"
+  "CMakeFiles/barrier_dijkstra.dir/barrier_dijkstra.cpp.o.d"
+  "barrier_dijkstra"
+  "barrier_dijkstra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_dijkstra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

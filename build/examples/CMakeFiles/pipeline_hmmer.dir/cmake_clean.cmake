@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_hmmer.dir/pipeline_hmmer.cpp.o"
+  "CMakeFiles/pipeline_hmmer.dir/pipeline_hmmer.cpp.o.d"
+  "pipeline_hmmer"
+  "pipeline_hmmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_hmmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

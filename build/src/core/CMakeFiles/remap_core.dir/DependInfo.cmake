@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/remap_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/remap_core.dir/report.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/remap_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/remap_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/remap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/remap_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/remap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/remap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/remap_spl.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/remap_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

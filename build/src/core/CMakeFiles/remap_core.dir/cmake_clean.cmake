@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_core.dir/report.cc.o"
+  "CMakeFiles/remap_core.dir/report.cc.o.d"
+  "CMakeFiles/remap_core.dir/system.cc.o"
+  "CMakeFiles/remap_core.dir/system.cc.o.d"
+  "libremap_core.a"
+  "libremap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

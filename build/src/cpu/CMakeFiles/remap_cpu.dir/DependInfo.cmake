@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/bpred.cc" "src/cpu/CMakeFiles/remap_cpu.dir/bpred.cc.o" "gcc" "src/cpu/CMakeFiles/remap_cpu.dir/bpred.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/remap_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/remap_cpu.dir/core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/remap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/remap_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/remap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/remap_spl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

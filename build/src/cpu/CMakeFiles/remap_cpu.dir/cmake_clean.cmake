@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_cpu.dir/bpred.cc.o"
+  "CMakeFiles/remap_cpu.dir/bpred.cc.o.d"
+  "CMakeFiles/remap_cpu.dir/core.cc.o"
+  "CMakeFiles/remap_cpu.dir/core.cc.o.d"
+  "libremap_cpu.a"
+  "libremap_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_harness.dir/experiment.cc.o"
+  "CMakeFiles/remap_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/remap_harness.dir/table.cc.o"
+  "CMakeFiles/remap_harness.dir/table.cc.o.d"
+  "libremap_harness.a"
+  "libremap_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

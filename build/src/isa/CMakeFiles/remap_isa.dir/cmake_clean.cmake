@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_isa.dir/builder.cc.o"
+  "CMakeFiles/remap_isa.dir/builder.cc.o.d"
+  "CMakeFiles/remap_isa.dir/interp.cc.o"
+  "CMakeFiles/remap_isa.dir/interp.cc.o.d"
+  "CMakeFiles/remap_isa.dir/isa.cc.o"
+  "CMakeFiles/remap_isa.dir/isa.cc.o.d"
+  "libremap_isa.a"
+  "libremap_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_mem.dir/cache.cc.o"
+  "CMakeFiles/remap_mem.dir/cache.cc.o.d"
+  "CMakeFiles/remap_mem.dir/mem_system.cc.o"
+  "CMakeFiles/remap_mem.dir/mem_system.cc.o.d"
+  "libremap_mem.a"
+  "libremap_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

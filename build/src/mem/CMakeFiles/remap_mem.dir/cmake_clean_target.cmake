@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libremap_mem.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_power.dir/energy.cc.o"
+  "CMakeFiles/remap_power.dir/energy.cc.o.d"
+  "libremap_power.a"
+  "libremap_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

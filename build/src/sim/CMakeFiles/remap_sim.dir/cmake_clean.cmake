@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_sim.dir/logging.cc.o"
+  "CMakeFiles/remap_sim.dir/logging.cc.o.d"
+  "CMakeFiles/remap_sim.dir/stats.cc.o"
+  "CMakeFiles/remap_sim.dir/stats.cc.o.d"
+  "libremap_sim.a"
+  "libremap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

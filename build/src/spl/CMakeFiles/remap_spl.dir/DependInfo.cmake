@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spl/fabric.cc" "src/spl/CMakeFiles/remap_spl.dir/fabric.cc.o" "gcc" "src/spl/CMakeFiles/remap_spl.dir/fabric.cc.o.d"
+  "/root/repo/src/spl/function.cc" "src/spl/CMakeFiles/remap_spl.dir/function.cc.o" "gcc" "src/spl/CMakeFiles/remap_spl.dir/function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/remap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_spl.dir/fabric.cc.o"
+  "CMakeFiles/remap_spl.dir/fabric.cc.o.d"
+  "CMakeFiles/remap_spl.dir/function.cc.o"
+  "CMakeFiles/remap_spl.dir/function.cc.o.d"
+  "libremap_spl.a"
+  "libremap_spl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_spl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

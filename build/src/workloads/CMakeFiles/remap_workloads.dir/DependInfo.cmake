@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/inputs.cc" "src/workloads/CMakeFiles/remap_workloads.dir/inputs.cc.o" "gcc" "src/workloads/CMakeFiles/remap_workloads.dir/inputs.cc.o.d"
+  "/root/repo/src/workloads/kernels_barrier.cc" "src/workloads/CMakeFiles/remap_workloads.dir/kernels_barrier.cc.o" "gcc" "src/workloads/CMakeFiles/remap_workloads.dir/kernels_barrier.cc.o.d"
+  "/root/repo/src/workloads/kernels_comm.cc" "src/workloads/CMakeFiles/remap_workloads.dir/kernels_comm.cc.o" "gcc" "src/workloads/CMakeFiles/remap_workloads.dir/kernels_comm.cc.o.d"
+  "/root/repo/src/workloads/kernels_comm2.cc" "src/workloads/CMakeFiles/remap_workloads.dir/kernels_comm2.cc.o" "gcc" "src/workloads/CMakeFiles/remap_workloads.dir/kernels_comm2.cc.o.d"
+  "/root/repo/src/workloads/kernels_common.cc" "src/workloads/CMakeFiles/remap_workloads.dir/kernels_common.cc.o" "gcc" "src/workloads/CMakeFiles/remap_workloads.dir/kernels_common.cc.o.d"
+  "/root/repo/src/workloads/kernels_compute.cc" "src/workloads/CMakeFiles/remap_workloads.dir/kernels_compute.cc.o" "gcc" "src/workloads/CMakeFiles/remap_workloads.dir/kernels_compute.cc.o.d"
+  "/root/repo/src/workloads/spl_functions.cc" "src/workloads/CMakeFiles/remap_workloads.dir/spl_functions.cc.o" "gcc" "src/workloads/CMakeFiles/remap_workloads.dir/spl_functions.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/remap_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/remap_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/remap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/remap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/remap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/remap_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/remap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/remap_spl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/remap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_workloads.dir/inputs.cc.o"
+  "CMakeFiles/remap_workloads.dir/inputs.cc.o.d"
+  "CMakeFiles/remap_workloads.dir/kernels_barrier.cc.o"
+  "CMakeFiles/remap_workloads.dir/kernels_barrier.cc.o.d"
+  "CMakeFiles/remap_workloads.dir/kernels_comm.cc.o"
+  "CMakeFiles/remap_workloads.dir/kernels_comm.cc.o.d"
+  "CMakeFiles/remap_workloads.dir/kernels_comm2.cc.o"
+  "CMakeFiles/remap_workloads.dir/kernels_comm2.cc.o.d"
+  "CMakeFiles/remap_workloads.dir/kernels_common.cc.o"
+  "CMakeFiles/remap_workloads.dir/kernels_common.cc.o.d"
+  "CMakeFiles/remap_workloads.dir/kernels_compute.cc.o"
+  "CMakeFiles/remap_workloads.dir/kernels_compute.cc.o.d"
+  "CMakeFiles/remap_workloads.dir/spl_functions.cc.o"
+  "CMakeFiles/remap_workloads.dir/spl_functions.cc.o.d"
+  "CMakeFiles/remap_workloads.dir/workload.cc.o"
+  "CMakeFiles/remap_workloads.dir/workload.cc.o.d"
+  "libremap_workloads.a"
+  "libremap_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

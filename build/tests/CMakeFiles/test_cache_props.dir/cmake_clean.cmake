@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_props.dir/test_cache_props.cc.o"
+  "CMakeFiles/test_cache_props.dir/test_cache_props.cc.o.d"
+  "test_cache_props"
+  "test_cache_props.pdb"
+  "test_cache_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

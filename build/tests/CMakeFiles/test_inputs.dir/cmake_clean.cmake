@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inputs.dir/test_inputs.cc.o"
+  "CMakeFiles/test_inputs.dir/test_inputs.cc.o.d"
+  "test_inputs"
+  "test_inputs.pdb"
+  "test_inputs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_golden.dir/test_kernels_golden.cc.o"
+  "CMakeFiles/test_kernels_golden.dir/test_kernels_golden.cc.o.d"
+  "test_kernels_golden"
+  "test_kernels_golden.pdb"
+  "test_kernels_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spl_fabric.dir/test_spl_fabric.cc.o"
+  "CMakeFiles/test_spl_fabric.dir/test_spl_fabric.cc.o.d"
+  "test_spl_fabric"
+  "test_spl_fabric.pdb"
+  "test_spl_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spl_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_spl_function.cc" "tests/CMakeFiles/test_spl_function.dir/test_spl_function.cc.o" "gcc" "tests/CMakeFiles/test_spl_function.dir/test_spl_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/remap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/remap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/remap_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/remap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/remap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/remap_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/remap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/remap_spl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/remap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spl_function.dir/test_spl_function.cc.o"
+  "CMakeFiles/test_spl_function.dir/test_spl_function.cc.o.d"
+  "test_spl_function"
+  "test_spl_function.pdb"
+  "test_spl_function[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spl_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

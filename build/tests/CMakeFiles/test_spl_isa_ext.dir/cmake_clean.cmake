@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spl_isa_ext.dir/test_spl_isa_ext.cc.o"
+  "CMakeFiles/test_spl_isa_ext.dir/test_spl_isa_ext.cc.o.d"
+  "test_spl_isa_ext"
+  "test_spl_isa_ext.pdb"
+  "test_spl_isa_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spl_isa_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
