@@ -7,9 +7,11 @@
  * virtualize and lose initiation rate (Section II-A).
  */
 
+#include <functional>
 #include <iostream>
 
 #include "core/system.hh"
+#include "harness/parallel.hh"
 #include "harness/table.hh"
 #include "isa/builder.hh"
 #include "spl/function.hh"
@@ -80,11 +82,26 @@ main()
     harness::Table t;
     t.header({"Function rows", "1 partition (24 rows)",
               "2 partitions (12 rows)", "4 partitions (6 rows)"});
-    for (unsigned rows : {4u, 8u, 12u, 16u, 24u}) {
+
+    const std::vector<unsigned> row_counts = {4u, 8u, 12u, 16u, 24u};
+    const std::vector<unsigned> part_counts = {1u, 2u, 4u};
+    std::vector<Cycle> cycles(row_counts.size() *
+                              part_counts.size());
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t r = 0; r < row_counts.size(); ++r)
+        for (std::size_t p = 0; p < part_counts.size(); ++p)
+            jobs.push_back([r, p, &row_counts, &part_counts,
+                            &cycles] {
+                cycles[r * part_counts.size() + p] =
+                    run(part_counts[p], row_counts[r], 2000);
+            });
+    harness::JobPool::shared().run(std::move(jobs));
+
+    std::size_t idx = 0;
+    for (unsigned rows : row_counts) {
         std::vector<std::string> row = {std::to_string(rows)};
-        for (unsigned parts : {1u, 2u, 4u})
-            row.push_back(
-                std::to_string(run(parts, rows, 2000)) + " cyc");
+        for (std::size_t p = 0; p < part_counts.size(); ++p)
+            row.push_back(std::to_string(cycles[idx++]) + " cyc");
         t.row(row);
     }
     t.print(std::cout);

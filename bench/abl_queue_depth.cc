@@ -6,9 +6,11 @@
  * rate mismatches (Section II-B.1's queuing discussion).
  */
 
+#include <functional>
 #include <iostream>
 
 #include "core/system.hh"
+#include "harness/parallel.hh"
 #include "harness/table.hh"
 #include "isa/builder.hh"
 #include "spl/function.hh"
@@ -76,10 +78,24 @@ main()
     harness::Table t;
     t.header({"Pending inits/core", "Output queue words",
               "Cycles"});
-    for (unsigned pending : {1u, 2u, 4u, 8u})
-        for (unsigned words : {4u, 8u, 32u, 64u})
+
+    const std::vector<unsigned> pendings = {1u, 2u, 4u, 8u};
+    const std::vector<unsigned> word_counts = {4u, 8u, 32u, 64u};
+    std::vector<Cycle> cycles(pendings.size() * word_counts.size());
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < pendings.size(); ++i)
+        for (std::size_t w = 0; w < word_counts.size(); ++w)
+            jobs.push_back([i, w, &pendings, &word_counts, &cycles] {
+                cycles[i * word_counts.size() + w] =
+                    run(pendings[i], word_counts[w]);
+            });
+    harness::JobPool::shared().run(std::move(jobs));
+
+    std::size_t idx = 0;
+    for (unsigned pending : pendings)
+        for (unsigned words : word_counts)
             t.row({std::to_string(pending), std::to_string(words),
-                   std::to_string(run(pending, words))});
+                   std::to_string(cycles[idx++])});
     t.print(std::cout);
     std::cout << "\nDeeper queues absorb consumer bursts; beyond "
                  "the burst size, more\ncapacity stops helping.\n";

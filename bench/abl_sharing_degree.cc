@@ -7,9 +7,11 @@
  * fabric area (Section II-A).
  */
 
+#include <functional>
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/table.hh"
 
 int
@@ -23,24 +25,44 @@ main()
     harness::Table t;
     t.header({"Copies", "Cycles", "Slowdown vs alone",
               "RR conflicts", "Fabric initiations"});
-    double alone = 0.0;
+
+    struct Point
+    {
+        Cycle cycles = 0;
+        std::uint64_t rrConflicts = 0;
+        std::uint64_t initiations = 0;
+        bool ok = true;
+    };
+    std::vector<Point> points(4);
+    std::vector<std::function<void()>> jobs;
+    for (unsigned copies = 1; copies <= 4; ++copies)
+        jobs.push_back([copies, &points] {
+            workloads::RunSpec spec;
+            spec.variant = Variant::Comp;
+            spec.copies = copies;
+            auto run = workloads::makeG721(spec, true);
+            auto rr = run.run();
+            Point &p = points[copies - 1];
+            p.ok = !run.verify || run.verify();
+            p.cycles = rr.cycles;
+            p.rrConflicts =
+                run.system->fabric(0).rrConflicts.value();
+            p.initiations =
+                run.system->fabric(0).initiations.value();
+        });
+    harness::JobPool::shared().run(std::move(jobs));
+
+    const double alone = static_cast<double>(points[0].cycles);
     for (unsigned copies = 1; copies <= 4; ++copies) {
-        workloads::RunSpec spec;
-        spec.variant = Variant::Comp;
-        spec.copies = copies;
-        auto run = workloads::makeG721(spec, true);
-        auto rr = run.run();
-        if (run.verify && !run.verify()) {
+        const Point &p = points[copies - 1];
+        if (!p.ok) {
             std::cerr << "verification failed\n";
             return 1;
         }
-        if (copies == 1)
-            alone = static_cast<double>(rr.cycles);
-        auto &fabric = run.system->fabric(0);
-        t.row({std::to_string(copies), std::to_string(rr.cycles),
-               harness::fmt(rr.cycles / alone) + "x",
-               std::to_string(fabric.rrConflicts.value()),
-               std::to_string(fabric.initiations.value())});
+        t.row({std::to_string(copies), std::to_string(p.cycles),
+               harness::fmt(p.cycles / alone) + "x",
+               std::to_string(p.rrConflicts),
+               std::to_string(p.initiations)});
     }
     t.print(std::cout);
     std::cout << "\nTotal throughput rises with sharing while "

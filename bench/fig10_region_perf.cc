@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/table.hh"
 
 int
@@ -32,11 +33,14 @@ main()
 
     std::vector<double> comp_gains, comm_compcomm_gains,
         vs_ooo2_gains;
-    for (const auto &w : workloads::registry()) {
-        if (w.mode == Mode::Barrier)
-            continue;
-        harness::VariantResults res =
-            harness::runVariantSet(w, model);
+    std::vector<const workloads::WorkloadInfo *> infos;
+    for (const auto &w : workloads::registry())
+        if (w.mode != Mode::Barrier)
+            infos.push_back(&w);
+    const auto all = harness::runVariantSetsParallel(infos, model);
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+        const auto &w = *infos[i];
+        const harness::VariantResults &res = all[i];
         const double base =
             static_cast<double>(res.at(Variant::Seq).cycles);
         std::string comm = "-", compcomm = "-", ooo2 = "-";

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/table.hh"
 
 int
@@ -27,11 +28,14 @@ main()
               "OOO2+Comm"});
 
     std::vector<double> compcomm_eds;
-    for (const auto &w : workloads::registry()) {
-        if (w.mode == Mode::Barrier)
-            continue;
-        harness::VariantResults res =
-            harness::runVariantSet(w, model);
+    std::vector<const workloads::WorkloadInfo *> infos;
+    for (const auto &w : workloads::registry())
+        if (w.mode != Mode::Barrier)
+            infos.push_back(&w);
+    const auto all = harness::runVariantSetsParallel(infos, model);
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+        const auto &w = *infos[i];
+        const harness::VariantResults &res = all[i];
         const double base_ed =
             res.at(Variant::Seq).ed(model.clockParams());
         auto rel = [&](Variant v) {

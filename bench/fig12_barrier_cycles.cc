@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/table.hh"
 
 using namespace remap;
@@ -51,13 +52,26 @@ sweep(const char *name, const std::vector<unsigned> &sizes,
         series.push_back({Variant::HwBarrierComp, 16});
     }
 
+    // One region job per table cell, submitted as a single batch so
+    // the whole sweep fans out across the pool.
+    std::vector<harness::RegionJob> jobs;
+    for (unsigned size : sizes) {
+        for (const Series &s : series) {
+            workloads::RunSpec spec;
+            spec.variant = s.v;
+            spec.problemSize = size;
+            spec.threads = s.p;
+            jobs.push_back(harness::RegionJob{&info, spec});
+        }
+    }
+    const auto results = harness::runRegions(jobs, model);
+
+    std::size_t idx = 0;
     for (unsigned size : sizes) {
         std::vector<std::string> row = {std::to_string(size)};
-        for (const Series &s : series) {
-            auto pts = harness::barrierSweep(info, s.v, s.p, {size},
-                                             model);
-            row.push_back(harness::fmt(pts[0].cyclesPerIter, 0));
-        }
+        for (std::size_t s = 0; s < series.size(); ++s)
+            row.push_back(
+                harness::fmt(results[idx++].cyclesPerUnit(), 0));
         t.row(row);
     }
     t.print(std::cout);

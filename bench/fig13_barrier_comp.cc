@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/table.hh"
 
 using namespace remap;
@@ -26,17 +27,34 @@ sweep(const char *name, const std::vector<unsigned> &sizes)
               << ") Barrier+Comp improvement over Barrier alone\n";
     harness::Table t;
     t.header({"Size", "p2", "p4", "p8", "p16"});
+
+    // Each cell needs a Barrier and a Barrier+Comp run; batch all of
+    // them (the serial version also re-ran a Seq baseline per cell
+    // whose result this figure never reads, so those are gone).
+    const std::vector<unsigned> threads = {2u, 4u, 8u, 16u};
+    std::vector<harness::RegionJob> jobs;
+    for (unsigned size : sizes) {
+        for (unsigned p : threads) {
+            for (Variant v :
+                 {Variant::HwBarrier, Variant::HwBarrierComp}) {
+                workloads::RunSpec spec;
+                spec.variant = v;
+                spec.problemSize = size;
+                spec.threads = p;
+                jobs.push_back(harness::RegionJob{&info, spec});
+            }
+        }
+    }
+    const auto results = harness::runRegions(jobs, model);
+
+    std::size_t idx = 0;
     for (unsigned size : sizes) {
         std::vector<std::string> row = {std::to_string(size)};
-        for (unsigned p : {2u, 4u, 8u, 16u}) {
-            auto barrier = harness::barrierSweep(
-                info, Variant::HwBarrier, p, {size}, model);
-            auto comp = harness::barrierSweep(
-                info, Variant::HwBarrierComp, p, {size}, model);
-            double improvement = barrier[0].cyclesPerIter /
-                                     comp[0].cyclesPerIter -
-                                 1.0;
-            row.push_back(harness::fmtPct(improvement, 1));
+        for (std::size_t p = 0; p < threads.size(); ++p) {
+            const double barrier = results[idx++].cyclesPerUnit();
+            const double comp = results[idx++].cyclesPerUnit();
+            row.push_back(
+                harness::fmtPct(barrier / comp - 1.0, 1));
         }
         t.row(row);
     }

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/table.hh"
 
 using namespace remap;
@@ -47,12 +48,33 @@ sweep(const char *name, const std::vector<unsigned> &sizes,
         series.push_back({Variant::HwBarrierComp, 16});
     }
 
+    // One shared Seq baseline per size (the serial code re-ran it
+    // for every series) plus one job per cell, in a single batch.
+    std::vector<harness::RegionJob> jobs;
+    for (unsigned size : sizes) {
+        workloads::RunSpec seq_spec;
+        seq_spec.variant = Variant::Seq;
+        seq_spec.problemSize = size;
+        jobs.push_back(harness::RegionJob{&info, seq_spec});
+        for (const Series &s : series) {
+            workloads::RunSpec spec;
+            spec.variant = s.v;
+            spec.problemSize = size;
+            spec.threads = s.p;
+            jobs.push_back(harness::RegionJob{&info, spec});
+        }
+    }
+    const auto results = harness::runRegions(jobs, model);
+
+    std::size_t idx = 0;
     for (unsigned size : sizes) {
         std::vector<std::string> row = {std::to_string(size)};
-        for (const Series &s : series) {
-            auto pts = harness::barrierSweep(info, s.v, s.p, {size},
-                                             model);
-            row.push_back(harness::fmt(pts[0].relEd));
+        const harness::RegionResult &seq = results[idx++];
+        for (std::size_t s = 0; s < series.size(); ++s) {
+            const harness::RegionResult &res = results[idx++];
+            row.push_back(harness::fmt(
+                res.ed(model.clockParams()) /
+                seq.ed(model.clockParams())));
         }
         t.row(row);
     }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/table.hh"
 
 int
@@ -24,10 +25,16 @@ main()
     harness::Table t;
     t.header({"Benchmark", "ReMAP", "OOO2+Comm"});
     std::vector<double> remap_vs_comm_compute, remap_vs_comm_comm;
-    for (const auto &w : workloads::registry()) {
-        if (w.mode == Mode::Barrier)
-            continue;
-        auto res = harness::runVariantSet(w, model);
+    // Every region simulation of every workload goes out as one
+    // batch over the job pool (REMAP_JOBS workers).
+    std::vector<const workloads::WorkloadInfo *> infos;
+    for (const auto &w : workloads::registry())
+        if (w.mode != Mode::Barrier)
+            infos.push_back(&w);
+    const auto all = harness::runVariantSetsParallel(infos, model);
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+        const auto &w = *infos[i];
+        const auto &res = all[i];
         auto row = harness::composeWholeProgram(w, res, model);
         t.row({row.name, harness::fmtPct(row.remapSpeedup - 1.0),
                harness::fmtPct(row.ooo2commSpeedup - 1.0)});

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/table.hh"
 
 int
@@ -23,10 +24,14 @@ main()
     harness::Table t;
     t.header({"Benchmark", "ReMAP", "OOO2+Comm"});
     std::vector<double> ed_ratio;
-    for (const auto &w : workloads::registry()) {
-        if (w.mode == Mode::Barrier)
-            continue;
-        auto res = harness::runVariantSet(w, model);
+    std::vector<const workloads::WorkloadInfo *> infos;
+    for (const auto &w : workloads::registry())
+        if (w.mode != Mode::Barrier)
+            infos.push_back(&w);
+    const auto all = harness::runVariantSetsParallel(infos, model);
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+        const auto &w = *infos[i];
+        const auto &res = all[i];
         auto row = harness::composeWholeProgram(w, res, model);
         t.row({row.name, harness::fmt(row.remapRelEd),
                harness::fmt(row.ooo2commRelEd)});

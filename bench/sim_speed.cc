@@ -2,15 +2,27 @@
  * @file
  * google-benchmark microbenchmarks of the simulator itself: how many
  * simulated instructions/cycles per host-second the core, cache and
- * fabric models deliver.
+ * fabric models deliver. Besides the console report, the binary
+ * writes BENCH_sim_speed.json (benchmark name, iterations, sim
+ * rate, per-iteration wall ms) into the working directory; the copy
+ * at the repo root is the tracked baseline for spotting simulator
+ * throughput regressions across PRs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "core/system.hh"
+#include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "isa/builder.hh"
 #include "mem/mem_system.hh"
 #include "spl/function.hh"
+#include "workloads/workload.hh"
 
 using namespace remap;
 
@@ -118,6 +130,166 @@ BM_SplFunctionEval(benchmark::State &state)
 }
 BENCHMARK(BM_SplFunctionEval);
 
+/**
+ * Fan a batch of independent region simulations across the job pool
+ * (REMAP_JOBS workers). Measures harness overhead + scaling; on a
+ * single-core host this degenerates to the serial loop.
+ */
+void
+BM_ParallelHarness(benchmark::State &state)
+{
+    power::EnergyModel model;
+    const auto &info = workloads::byName("ll2");
+    std::vector<harness::RegionJob> jobs;
+    for (unsigned size : {8u, 16u, 32u, 64u}) {
+        workloads::RunSpec spec;
+        spec.variant = workloads::Variant::HwBarrier;
+        spec.problemSize = size;
+        spec.threads = 8;
+        jobs.push_back(harness::RegionJob{&info, spec});
+    }
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        auto results = harness::runRegions(jobs, model);
+        for (const auto &r : results)
+            sim_cycles += r.cycles;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_cycles),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelHarness)->Unit(benchmark::kMillisecond);
+
+/**
+ * A miniature figure-style sweep: multiple sizes x variant series of
+ * whole System simulations submitted as one batch, the same shape as
+ * the fig12 driver. This is the headline wall-clock number for the
+ * experiment pipeline.
+ */
+void
+BM_FigureSweep(benchmark::State &state)
+{
+    using workloads::Variant;
+    power::EnergyModel model;
+    const auto &info = workloads::byName("ll2");
+    struct Series
+    {
+        Variant v;
+        unsigned p;
+    };
+    const std::vector<Series> series = {{Variant::Seq, 1},
+                                        {Variant::SwBarrier, 8},
+                                        {Variant::HwBarrier, 8},
+                                        {Variant::HwBarrier, 16}};
+    std::vector<harness::RegionJob> jobs;
+    for (unsigned size : {8u, 16u, 32u}) {
+        for (const Series &s : series) {
+            workloads::RunSpec spec;
+            spec.variant = s.v;
+            spec.problemSize = size;
+            spec.threads = s.p;
+            jobs.push_back(harness::RegionJob{&info, spec});
+        }
+    }
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        auto results = harness::runRegions(jobs, model);
+        for (const auto &r : results)
+            sim_cycles += r.cycles;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_cycles),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FigureSweep)->Unit(benchmark::kMillisecond);
+
+/**
+ * Console reporter that additionally collects one JSON record per
+ * benchmark and writes the tracked BENCH_sim_speed.json baseline.
+ */
+class BaselineReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const Run &r : runs) {
+            if (r.error_occurred)
+                continue;
+            Entry e;
+            e.name = r.benchmark_name();
+            e.iterations = r.iterations;
+            e.wallMs = r.iterations > 0
+                           ? r.real_accumulated_time /
+                                 static_cast<double>(r.iterations) *
+                                 1e3
+                           : 0.0;
+            auto insts = r.counters.find("sim_insts_per_s");
+            if (insts != r.counters.end())
+                e.simInstsPerS = insts->second;
+            auto cycles = r.counters.find("sim_cycles_per_s");
+            if (cycles != r.counters.end())
+                e.simCyclesPerS = cycles->second;
+            entries_.push_back(std::move(e));
+        }
+    }
+
+    bool
+    writeJson(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        auto num = [](double v) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.6g", v);
+            return std::string(buf);
+        };
+        out << "[\n";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const Entry &e = entries_[i];
+            out << "  {\"name\": \"" << e.name
+                << "\", \"iterations\": " << e.iterations
+                << ", \"sim_insts_per_s\": "
+                << (e.simInstsPerS > 0 ? num(e.simInstsPerS)
+                                       : "null")
+                << ", \"sim_cycles_per_s\": "
+                << (e.simCyclesPerS > 0 ? num(e.simCyclesPerS)
+                                        : "null")
+                << ", \"wall_ms\": " << num(e.wallMs) << "}"
+                << (i + 1 < entries_.size() ? "," : "") << "\n";
+        }
+        out << "]\n";
+        return out.good();
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::int64_t iterations = 0;
+        double simInstsPerS = 0.0;
+        double simCyclesPerS = 0.0;
+        double wallMs = 0.0;
+    };
+    std::vector<Entry> entries_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    BaselineReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!reporter.writeJson("BENCH_sim_speed.json")) {
+        std::fprintf(stderr,
+                     "failed to write BENCH_sim_speed.json\n");
+        return 1;
+    }
+    return 0;
+}

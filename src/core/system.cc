@@ -1,5 +1,7 @@
 #include "core/system.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace remap::sys
@@ -112,6 +114,8 @@ System::System(const SystemConfig &config)
     for (auto &f : fabrics_)
         raw.push_back(f.get());
     barrierUnit_.attachFabrics(std::move(raw));
+
+    coreDone_.assign(cores_.size(), 1); // no threads bound yet
 }
 
 ConfigId
@@ -133,6 +137,7 @@ System::createThread(const isa::Program *prog)
     ctx.id = static_cast<ThreadId>(threads_.size());
     ctx.reset(prog);
     threads_.push_back(ctx);
+    threadCore_.push_back(invalidCore);
     return threads_.back();
 }
 
@@ -143,9 +148,24 @@ System::mapThread(ThreadId tid, CoreId core_id)
     REMAP_ASSERT(core_id < cores_.size(), "unknown core");
     cpu::ThreadContext &ctx = threads_[tid];
     cores_[core_id]->bindThread(&ctx);
+    threadCore_[tid] = core_id;
+    noteCoreActivity(core_id);
     if (spl::SplFabric *fabric = coreFabric_[core_id])
         fabric->threadTable().map(coreSlot_[core_id], ctx.id,
                                   ctx.app);
+}
+
+void
+System::noteCoreActivity(CoreId core)
+{
+    const char done = cores_[core]->done() ? 1 : 0;
+    if (done == coreDone_[core])
+        return;
+    coreDone_[core] = done;
+    if (done)
+        --activeCores_;
+    else
+        ++activeCores_;
 }
 
 bool
@@ -177,13 +197,7 @@ System::processMigrations()
                 break;
             // Locate the source core lazily (the thread may itself
             // have been migrated since scheduling).
-            m.from = invalidCore;
-            for (auto &core : cores_) {
-                if (core->thread() == &threads_[m.tid]) {
-                    m.from = core->id();
-                    break;
-                }
-            }
+            m.from = threadCore_[m.tid];
             REMAP_ASSERT(m.from != invalidCore,
                          "migrating an unmapped thread");
             cores_[m.from]->requestDrain();
@@ -207,6 +221,8 @@ System::processMigrations()
             if (fabric)
                 fabric->threadTable().unmap(coreSlot_[m.from]);
             from.unbindThread();
+            threadCore_[m.tid] = invalidCore;
+            noteCoreActivity(m.from);
             m.state = Migration::State::Switching;
             m.resumeAt = cycle_ + config_.migrationSwitchCycles;
             break;
@@ -226,39 +242,93 @@ System::processMigrations()
     }
 }
 
+Cycle
+System::nextMigrationWake() const
+{
+    Cycle wake = ~Cycle(0);
+    for (const Migration &m : migrations_) {
+        switch (m.state) {
+          case Migration::State::Waiting:
+            if (m.at <= cycle_)
+                return 0;
+            wake = std::min(wake, m.at);
+            break;
+          case Migration::State::Switching:
+            if (m.resumeAt <= cycle_)
+                return 0;
+            wake = std::min(wake, m.resumeAt);
+            break;
+          case Migration::State::Draining:
+            return 0;
+        }
+    }
+    return wake;
+}
+
 RunResult
 System::run(Cycle max_cycles)
 {
     RunResult result;
     const Cycle start = cycle_;
+
+    // (Re)derive the per-core activity cache; between here and the
+    // end of the run it is maintained incrementally (dirty-flag
+    // protocol, DESIGN.md). A done core's tick() is a strict no-op,
+    // so skipping it is behaviour- and statistics-identical.
+    activeCores_ = 0;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        coreDone_[i] = cores_[i]->done() ? 1 : 0;
+        if (!coreDone_[i])
+            ++activeCores_;
+    }
+
     while (true) {
-        for (auto &core : cores_)
-            core->tick(cycle_);
-        for (auto &fabric : fabrics_)
-            fabric->tick(cycle_);
-        processMigrations();
+        if (activeCores_ > 0) {
+            for (std::size_t i = 0; i < cores_.size(); ++i) {
+                if (coreDone_[i])
+                    continue;
+                cores_[i]->tick(cycle_);
+                if (cores_[i]->done()) {
+                    coreDone_[i] = 1;
+                    --activeCores_;
+                }
+            }
+        }
+        bool fabrics_idle = true;
+        for (auto &fabric : fabrics_) {
+            if (!fabric->idle()) {
+                fabric->tick(cycle_);
+                fabrics_idle = fabric->idle() && fabrics_idle;
+            }
+        }
+        if (!migrations_.empty())
+            processMigrations();
         ++cycle_;
 
-        bool done = migrations_.empty();
-        for (auto &core : cores_)
-            if (!core->done()) {
-                done = false;
-                break;
-            }
-        if (done) {
-            for (auto &fabric : fabrics_)
-                if (!fabric->idle())
-                    done = false;
-        }
-        if (done && barrierUnit_.pendingBarriers() > 0)
-            done = false;
-        if (done)
+        if (activeCores_ == 0 && migrations_.empty() &&
+            fabrics_idle && barrierUnit_.pendingBarriers() == 0)
             break;
         if (cycle_ - start >= max_cycles) {
             result.timedOut = true;
             REMAP_WARN("run() hit the %llu-cycle limit",
                        static_cast<unsigned long long>(max_cycles));
             break;
+        }
+
+        // Idle-window fast-forward: when every component is quiet
+        // and the only outstanding events are migration wake-ups (or
+        // an unreachable barrier that can only time out), the
+        // intervening cycles are all no-ops, so jump straight to the
+        // next event. Cycle counts and statistics are unchanged.
+        if (activeCores_ == 0 && fabrics_idle) {
+            Cycle wake = nextMigrationWake();
+            if (wake > cycle_) {
+                const Cycle limit = start + max_cycles;
+                if (wake >= limit)
+                    wake = limit - 1; // let the timeout check fire
+                if (wake > cycle_)
+                    cycle_ = wake;
+            }
         }
     }
     result.cycles = cycle_ - start;

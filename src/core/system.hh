@@ -198,6 +198,26 @@ class System
     std::deque<cpu::ThreadContext> threads_;
     Cycle cycle_ = 0;
 
+    /**
+     * Quiescence dirty-flags (see DESIGN.md): per-core done-ness is
+     * cached so run() re-evaluates OooCore::done() only for cores
+     * that ticked this cycle, instead of scanning the whole chip.
+     * A core's activity can only change inside its own tick() or via
+     * the System-mediated mapThread()/unbindThread() paths, all of
+     * which refresh the cache through noteCoreActivity().
+     */
+    std::vector<char> coreDone_;
+    unsigned activeCores_ = 0;
+    void noteCoreActivity(CoreId core);
+
+    /** Thread -> current core (invalidCore when unmapped), so
+     *  migration wake-ups resolve the source core in O(1). */
+    std::vector<CoreId> threadCore_;
+
+    /** Earliest future cycle a pending migration acts at, or 0 when
+     *  one is actionable right now (Draining, or wake cycle due). */
+    Cycle nextMigrationWake() const;
+
     struct Migration
     {
         ThreadId tid;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "harness/parallel.hh"
 #include "sim/logging.hh"
 
 namespace remap::harness
@@ -38,32 +39,12 @@ runVariantSet(const workloads::WorkloadInfo &info,
               const power::EnergyModel &model, bool include_swqueue,
               unsigned compute_copies)
 {
-    VariantResults out;
-    RunSpec spec;
-
-    spec.variant = Variant::Seq;
-    out[Variant::Seq] = runRegion(info, spec, model);
-    spec.variant = Variant::SeqOoo2;
-    out[Variant::SeqOoo2] = runRegion(info, spec, model);
-
-    spec.variant = Variant::Comp;
-    if (info.mode == Mode::ComputeOnly)
-        spec.copies = compute_copies;
-    out[Variant::Comp] = runRegion(info, spec, model);
-    spec.copies = 1;
-
-    if (info.mode == Mode::CommComp) {
-        for (Variant v : {Variant::Comm, Variant::CompComm,
-                          Variant::Ooo2Comm}) {
-            spec.variant = v;
-            out[v] = runRegion(info, spec, model);
-        }
-        if (include_swqueue) {
-            spec.variant = Variant::SwQueue;
-            out[Variant::SwQueue] = runRegion(info, spec, model);
-        }
-    }
-    return out;
+    // The region simulations are independent; fan them out over the
+    // shared pool (REMAP_JOBS=1 recovers fully serial execution).
+    // Results are keyed by variant, not completion order, so this is
+    // bit-identical to running them back to back.
+    return runVariantSetParallel(info, model, include_swqueue,
+                                 compute_copies);
 }
 
 WholeProgramRow

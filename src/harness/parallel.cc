@@ -1,0 +1,387 @@
+#include "harness/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace remap::harness
+{
+
+using workloads::Mode;
+using workloads::RunSpec;
+using workloads::Variant;
+
+namespace
+{
+
+/** Set inside pool workers so nested run() calls degrade to serial
+ *  execution instead of deadlocking on their own pool. */
+thread_local bool in_pool_worker = false;
+
+double
+elapsedMs(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+struct JobPool::Impl
+{
+    struct Batch
+    {
+        std::vector<std::function<void()>> jobs;
+        std::vector<JobTiming> timings;
+        std::atomic<std::size_t> remaining{0};
+        std::mutex doneMutex;
+        std::condition_variable doneCv;
+    };
+    struct Task
+    {
+        Batch *batch = nullptr;
+        std::size_t index = 0;
+    };
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<Task> deque;
+    };
+
+    explicit Impl(unsigned n) : workers(n) {}
+
+    std::vector<Worker> workers;
+    std::vector<std::thread> threads;
+    std::mutex sleepMutex;
+    std::condition_variable sleepCv;
+    bool stop = false; // guarded by sleepMutex
+    std::atomic<std::size_t> pendingTasks{0};
+    std::atomic<std::uint64_t> jobsExecuted{0};
+    std::atomic<std::uint64_t> steals{0};
+
+    bool
+    tryPop(unsigned self, Task &out)
+    {
+        Worker &w = workers[self];
+        std::lock_guard<std::mutex> lk(w.mutex);
+        if (w.deque.empty())
+            return false;
+        out = w.deque.back();
+        w.deque.pop_back();
+        return true;
+    }
+
+    bool
+    trySteal(unsigned self, Task &out)
+    {
+        const unsigned n = static_cast<unsigned>(workers.size());
+        for (unsigned k = 1; k < n; ++k) {
+            Worker &victim = workers[(self + k) % n];
+            std::lock_guard<std::mutex> lk(victim.mutex);
+            if (victim.deque.empty())
+                continue;
+            out = victim.deque.front();
+            victim.deque.pop_front();
+            steals.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    execute(const Task &t, unsigned self)
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        t.batch->jobs[t.index]();
+        t.batch->timings[t.index].wallMs = elapsedMs(t0);
+        t.batch->timings[t.index].worker = self;
+        jobsExecuted.fetch_add(1, std::memory_order_relaxed);
+        pendingTasks.fetch_sub(1, std::memory_order_release);
+        if (t.batch->remaining.fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lk(t.batch->doneMutex);
+            t.batch->doneCv.notify_all();
+        }
+    }
+
+    void
+    workerLoop(unsigned self)
+    {
+        in_pool_worker = true;
+        Task t;
+        while (true) {
+            if (tryPop(self, t) || trySteal(self, t)) {
+                execute(t, self);
+                continue;
+            }
+            std::unique_lock<std::mutex> lk(sleepMutex);
+            sleepCv.wait(lk, [&] {
+                return stop ||
+                       pendingTasks.load(
+                           std::memory_order_acquire) > 0;
+            });
+            if (stop &&
+                pendingTasks.load(std::memory_order_acquire) == 0)
+                return;
+        }
+    }
+};
+
+unsigned
+JobPool::defaultWorkers()
+{
+    if (const char *env = std::getenv("REMAP_JOBS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<unsigned>(std::min(v, 256ul));
+        REMAP_WARN("ignoring invalid REMAP_JOBS='%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+JobPool::JobPool(unsigned workers)
+    : impl_(nullptr),
+      numWorkers_(workers > 0 ? workers : defaultWorkers())
+{
+    impl_ = new Impl(numWorkers_);
+    if (numWorkers_ > 1) {
+        impl_->threads.reserve(numWorkers_);
+        for (unsigned i = 0; i < numWorkers_; ++i)
+            impl_->threads.emplace_back(
+                [this, i] { impl_->workerLoop(i); });
+    }
+}
+
+JobPool::~JobPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(impl_->sleepMutex);
+        impl_->stop = true;
+    }
+    impl_->sleepCv.notify_all();
+    for (std::thread &t : impl_->threads)
+        t.join();
+    delete impl_;
+}
+
+std::uint64_t
+JobPool::jobsExecuted() const
+{
+    return impl_->jobsExecuted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+JobPool::steals() const
+{
+    return impl_->steals.load(std::memory_order_relaxed);
+}
+
+JobPool &
+JobPool::shared()
+{
+    static JobPool pool;
+    return pool;
+}
+
+std::vector<JobTiming>
+JobPool::run(std::vector<std::function<void()>> jobs)
+{
+    const std::size_t n = jobs.size();
+    std::vector<JobTiming> timings(n);
+    if (n == 0)
+        return timings;
+
+    if (numWorkers_ <= 1 || in_pool_worker) {
+        // Serial path: REMAP_JOBS=1, or a nested submission from a
+        // worker thread (waiting on our own pool would deadlock).
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto t0 = std::chrono::steady_clock::now();
+            jobs[i]();
+            timings[i].wallMs = elapsedMs(t0);
+            timings[i].worker = 0;
+        }
+        impl_->jobsExecuted.fetch_add(n, std::memory_order_relaxed);
+        return timings;
+    }
+
+    Impl::Batch batch;
+    batch.jobs = std::move(jobs);
+    batch.timings.resize(n);
+    batch.remaining.store(n, std::memory_order_relaxed);
+
+    // Scatter round-robin across the worker deques; stealing evens
+    // out any imbalance from heterogeneous job lengths.
+    for (std::size_t i = 0; i < n; ++i) {
+        Impl::Worker &w = impl_->workers[i % numWorkers_];
+        std::lock_guard<std::mutex> lk(w.mutex);
+        w.deque.push_back(Impl::Task{&batch, i});
+    }
+    {
+        std::lock_guard<std::mutex> lk(impl_->sleepMutex);
+        impl_->pendingTasks.fetch_add(n, std::memory_order_release);
+    }
+    impl_->sleepCv.notify_all();
+
+    std::unique_lock<std::mutex> lk(batch.doneMutex);
+    batch.doneCv.wait(lk, [&] {
+        return batch.remaining.load(std::memory_order_acquire) == 0;
+    });
+    return batch.timings;
+}
+
+// ---------------------------------------------------------------- //
+// Batch experiment drivers
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+/** The exact variant/RunSpec list runVariantSet simulates, in its
+ *  serial submission order. */
+std::vector<std::pair<Variant, RunSpec>>
+variantSpecs(const workloads::WorkloadInfo &info, bool include_swqueue,
+             unsigned compute_copies)
+{
+    std::vector<std::pair<Variant, RunSpec>> specs;
+    RunSpec spec;
+
+    spec.variant = Variant::Seq;
+    specs.emplace_back(Variant::Seq, spec);
+    spec.variant = Variant::SeqOoo2;
+    specs.emplace_back(Variant::SeqOoo2, spec);
+
+    spec.variant = Variant::Comp;
+    if (info.mode == Mode::ComputeOnly)
+        spec.copies = compute_copies;
+    specs.emplace_back(Variant::Comp, spec);
+    spec.copies = 1;
+
+    if (info.mode == Mode::CommComp) {
+        for (Variant v : {Variant::Comm, Variant::CompComm,
+                          Variant::Ooo2Comm}) {
+            spec.variant = v;
+            specs.emplace_back(v, spec);
+        }
+        if (include_swqueue) {
+            spec.variant = Variant::SwQueue;
+            specs.emplace_back(Variant::SwQueue, spec);
+        }
+    }
+    return specs;
+}
+
+} // namespace
+
+std::vector<RegionResult>
+runRegions(const std::vector<RegionJob> &jobs,
+           const power::EnergyModel &model, JobPool *pool,
+           std::vector<JobTiming> *timings)
+{
+    JobPool &p = pool ? *pool : JobPool::shared();
+    std::vector<RegionResult> results(jobs.size());
+    std::vector<std::function<void()>> fns;
+    fns.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        fns.push_back([&jobs, &results, &model, i] {
+            results[i] = runRegion(*jobs[i].info, jobs[i].spec, model);
+        });
+    std::vector<JobTiming> t = p.run(std::move(fns));
+    if (timings)
+        *timings = std::move(t);
+    return results;
+}
+
+VariantResults
+runVariantSetParallel(const workloads::WorkloadInfo &info,
+                      const power::EnergyModel &model,
+                      bool include_swqueue, unsigned compute_copies,
+                      JobPool *pool)
+{
+    const auto specs =
+        variantSpecs(info, include_swqueue, compute_copies);
+    std::vector<RegionJob> jobs;
+    jobs.reserve(specs.size());
+    for (const auto &[v, spec] : specs)
+        jobs.push_back(RegionJob{&info, spec});
+    const std::vector<RegionResult> results =
+        runRegions(jobs, model, pool);
+    VariantResults out;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        out[specs[i].first] = results[i];
+    return out;
+}
+
+std::vector<VariantResults>
+runVariantSetsParallel(
+    const std::vector<const workloads::WorkloadInfo *> &infos,
+    const power::EnergyModel &model, bool include_swqueue,
+    unsigned compute_copies, JobPool *pool)
+{
+    std::vector<RegionJob> jobs;
+    std::vector<std::pair<std::size_t, Variant>> keys;
+    for (std::size_t w = 0; w < infos.size(); ++w) {
+        for (const auto &[v, spec] :
+             variantSpecs(*infos[w], include_swqueue,
+                          compute_copies)) {
+            jobs.push_back(RegionJob{infos[w], spec});
+            keys.emplace_back(w, v);
+        }
+    }
+    const std::vector<RegionResult> results =
+        runRegions(jobs, model, pool);
+    std::vector<VariantResults> out(infos.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        out[keys[i].first][keys[i].second] = results[i];
+    return out;
+}
+
+std::vector<BarrierPoint>
+barrierSweepParallel(const workloads::WorkloadInfo &info, Variant v,
+                     unsigned threads,
+                     const std::vector<unsigned> &sizes,
+                     const power::EnergyModel &model, JobPool *pool)
+{
+    std::vector<RegionJob> jobs;
+    for (unsigned size : sizes) {
+        RunSpec seq_spec;
+        seq_spec.variant = Variant::Seq;
+        seq_spec.problemSize = size;
+        jobs.push_back(RegionJob{&info, seq_spec});
+        if (v != Variant::Seq) {
+            RunSpec spec;
+            spec.variant = v;
+            spec.problemSize = size;
+            spec.threads = threads;
+            jobs.push_back(RegionJob{&info, spec});
+        }
+    }
+    const std::vector<RegionResult> results =
+        runRegions(jobs, model, pool);
+
+    std::vector<BarrierPoint> points;
+    std::size_t idx = 0;
+    for (unsigned size : sizes) {
+        const RegionResult &seq = results[idx++];
+        const RegionResult &res =
+            v == Variant::Seq ? seq : results[idx++];
+        BarrierPoint p;
+        p.problemSize = size;
+        p.cyclesPerIter = res.cyclesPerUnit();
+        p.relEd = res.ed(model.clockParams()) /
+                  seq.ed(model.clockParams());
+        points.push_back(p);
+    }
+    return points;
+}
+
+} // namespace remap::harness

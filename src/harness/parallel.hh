@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Parallel experiment harness: a work-stealing thread pool plus
+ * batch drivers that fan independent (workload, variant, spec)
+ * simulations out across host cores.
+ *
+ * Every simulation submitted here is a self-contained System with no
+ * shared mutable state (the workload registry is initialized once,
+ * read-only afterwards; the RNG is per-instance), so running them
+ * concurrently is safe and — because results are keyed by job index,
+ * never by completion order — bit-identical to the serial path.
+ *
+ * Worker count comes from the REMAP_JOBS environment variable when
+ * set (REMAP_JOBS=1 forces fully serial, in-caller execution), else
+ * std::thread::hardware_concurrency().
+ */
+
+#ifndef REMAP_HARNESS_PARALLEL_HH
+#define REMAP_HARNESS_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace remap::harness
+{
+
+/** Host-side wall-time accounting for one pool job. */
+struct JobTiming
+{
+    double wallMs = 0.0; ///< host milliseconds the job ran for
+    unsigned worker = 0; ///< index of the worker that executed it
+};
+
+/**
+ * A work-stealing thread pool for coarse-grained simulation jobs.
+ *
+ * Each worker owns a deque: it pushes/pops its own work at the back
+ * and steals from the front of a victim's deque when empty. Batches
+ * submitted via run() are scattered round-robin across the deques so
+ * long jobs on one worker migrate to idle ones. run() blocks until
+ * the whole batch finished and returns per-job wall-time stats in
+ * submission order.
+ */
+class JobPool
+{
+  public:
+    /** @param workers thread count; 0 means defaultWorkers(). */
+    explicit JobPool(unsigned workers = 0);
+    ~JobPool();
+
+    JobPool(const JobPool &) = delete;
+    JobPool &operator=(const JobPool &) = delete;
+
+    /**
+     * Worker count implied by the environment: REMAP_JOBS when set
+     * (clamped to [1, 256]), else hardware_concurrency(), min 1.
+     */
+    static unsigned defaultWorkers();
+
+    /** Workers in this pool (1 = serial in-caller execution). */
+    unsigned workers() const { return numWorkers_; }
+
+    /**
+     * Execute @p jobs to completion. Timings are indexed exactly
+     * like @p jobs regardless of which worker ran what. Safe to call
+     * from a worker thread (the nested batch runs inline, serially).
+     */
+    std::vector<JobTiming> run(std::vector<std::function<void()>> jobs);
+
+    /** Jobs executed over the pool's lifetime. */
+    std::uint64_t jobsExecuted() const;
+    /** Successful steals over the pool's lifetime. */
+    std::uint64_t steals() const;
+
+    /** Lazily-created process-wide pool with defaultWorkers(). */
+    static JobPool &shared();
+
+  private:
+    struct Impl;
+    Impl *impl_;
+    unsigned numWorkers_;
+};
+
+/** One independent region simulation: a workload plus its RunSpec. */
+struct RegionJob
+{
+    const workloads::WorkloadInfo *info = nullptr;
+    workloads::RunSpec spec{};
+};
+
+/**
+ * Run every job through @p pool (shared() when null); results are in
+ * job order. @p timings, when non-null, receives per-job host wall
+ * times (same order).
+ */
+std::vector<RegionResult>
+runRegions(const std::vector<RegionJob> &jobs,
+           const power::EnergyModel &model, JobPool *pool = nullptr,
+           std::vector<JobTiming> *timings = nullptr);
+
+/**
+ * Parallel runVariantSet: identical variant list and per-variant
+ * RunSpecs to the serial harness::runVariantSet, with the region
+ * simulations fanned out over @p pool.
+ */
+VariantResults
+runVariantSetParallel(const workloads::WorkloadInfo &info,
+                      const power::EnergyModel &model,
+                      bool include_swqueue = false,
+                      unsigned compute_copies = 4,
+                      JobPool *pool = nullptr);
+
+/**
+ * Variant sets for many workloads at once: all region jobs of all
+ * workloads are submitted as one batch, which is what the fig8-fig11
+ * drivers want (cross-workload parallelism, not just cross-variant).
+ * Results are in @p infos order.
+ */
+std::vector<VariantResults>
+runVariantSetsParallel(const std::vector<const workloads::WorkloadInfo *> &infos,
+                       const power::EnergyModel &model,
+                       bool include_swqueue = false,
+                       unsigned compute_copies = 4,
+                       JobPool *pool = nullptr);
+
+/**
+ * Parallel barrierSweep: the per-size Seq baseline and variant runs
+ * all become independent jobs. Point values match the serial
+ * harness::barrierSweep bit for bit.
+ */
+std::vector<BarrierPoint>
+barrierSweepParallel(const workloads::WorkloadInfo &info,
+                     workloads::Variant v, unsigned threads,
+                     const std::vector<unsigned> &sizes,
+                     const power::EnergyModel &model,
+                     JobPool *pool = nullptr);
+
+} // namespace remap::harness
+
+#endif // REMAP_HARNESS_PARALLEL_HH

@@ -111,8 +111,11 @@ void
 BarrierUnit::declare(std::uint32_t id, unsigned total)
 {
     REMAP_ASSERT(total > 0, "barrier with zero participants");
-    barriers_[id].total = total;
-    barriers_[id].arrivals.clear();
+    BarrierState &b = barriers_[id];
+    if (!b.arrivals.empty())
+        --pending_;
+    b.total = total;
+    b.arrivals.clear();
 }
 
 void
@@ -124,6 +127,8 @@ BarrierUnit::arrive(std::uint32_t id, ThreadId thread,
     auto it = barriers_.find(id);
     REMAP_ASSERT(it != barriers_.end(), "arrival at undeclared barrier");
     BarrierState &b = it->second;
+    if (b.arrivals.empty())
+        ++pending_;
     b.arrivals.push_back(
         Arrival{thread, cluster, local_core, std::move(inputs), now});
     ++busUpdates;
@@ -163,6 +168,7 @@ BarrierUnit::release(std::uint32_t id, BarrierState &b, ConfigId cfg)
     }
     ++barriersCompleted;
     b.arrivals.clear();
+    --pending_;
 }
 
 void
@@ -205,16 +211,6 @@ BarrierUnit::funcArrive(std::uint32_t id, ClusterId cluster,
             fabrics_[cl]->funcDeliver(a->localCore, result);
     }
     b.arrivals.clear();
-}
-
-std::size_t
-BarrierUnit::pendingBarriers() const
-{
-    std::size_t n = 0;
-    for (const auto &[id, b] : barriers_)
-        if (!b.arrivals.empty())
-            ++n;
-    return n;
 }
 
 // ---------------------------------------------------------------- //
@@ -335,6 +331,7 @@ SplFabric::init(unsigned core, ConfigId cfg, std::int64_t dest_thread,
     p.inputs = sealStaged(core);
     p.readyCycle = now;
     port.pending.push_back(std::move(p));
+    ++pendingInits_;
 
     unsigned dest_core = core;
     if (dest_thread >= 0)
@@ -613,6 +610,7 @@ SplFabric::acceptPending(Partition &part, Cycle now)
 
         PendingInit p = std::move(port.pending.front());
         port.pending.pop_front();
+        --pendingInits_;
         part.rrNext = (idx + 1) % part.numCores;
 
         const SplFunction &fn = configs_->get(p.cfg);
@@ -655,17 +653,6 @@ SplFabric::tick(Cycle now)
     completeOps(now);
     for (Partition &part : partitions_)
         acceptPending(part, now);
-}
-
-bool
-SplFabric::idle() const
-{
-    if (!inFlight_.empty() || !barrierQueue_.empty())
-        return false;
-    for (const CorePort &port : ports_)
-        if (!port.pending.empty())
-            return false;
-    return true;
 }
 
 } // namespace remap::spl

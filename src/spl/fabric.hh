@@ -153,8 +153,10 @@ class BarrierUnit
                 unsigned local_core, ConfigId cfg,
                 std::vector<std::int32_t> inputs, Cycle now);
 
-    /** Number of currently pending (incomplete) barrier instances. */
-    std::size_t pendingBarriers() const;
+    /** Number of currently pending (incomplete) barrier instances.
+     *  O(1): maintained incrementally so System::run() can poll it
+     *  every cycle. */
+    std::size_t pendingBarriers() const { return pending_; }
 
     /**
      * Functional-preview arrival (execute-at-fetch support). Mirrors
@@ -193,6 +195,8 @@ class BarrierUnit
     std::unordered_map<std::uint32_t, BarrierState> barriers_;
     /** Functional-preview arrival state, independent of timing. */
     std::unordered_map<std::uint32_t, BarrierState> funcBarriers_;
+    /** Barriers with at least one arrival outstanding. */
+    std::size_t pending_ = 0;
 };
 
 /**
@@ -294,8 +298,16 @@ class SplFabric
                           std::vector<std::vector<std::int32_t>> inputs,
                           Cycle ready);
 
-    /** True when no work is queued or in flight (quiesced). */
-    bool idle() const;
+    /** True when no work is queued or in flight (quiesced). O(1):
+     *  pending initiations are counted as they enter and leave the
+     *  per-core queues, so System::run() can poll this every cycle
+     *  and skip tick() entirely for quiesced fabrics. */
+    bool
+    idle() const
+    {
+        return inFlight_.empty() && barrierQueue_.empty() &&
+               pendingInits_ == 0;
+    }
 
     /** This fabric's cluster id. */
     ClusterId cluster() const { return cluster_; }
@@ -382,6 +394,8 @@ class SplFabric
     std::vector<InFlightOp> inFlight_;
     /** Released barrier work waiting for RR acceptance. */
     std::deque<InFlightOp> barrierQueue_;
+    /** Total sealed-but-unaccepted initiations across all ports. */
+    std::size_t pendingInits_ = 0;
     StatGroup statGroup_;
 };
 
