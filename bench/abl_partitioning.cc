@@ -15,6 +15,7 @@
 #include "harness/table.hh"
 #include "isa/builder.hh"
 #include "spl/function.hh"
+#include "harness/manifest.hh"
 
 using namespace remap;
 
@@ -76,6 +77,7 @@ run(unsigned partitions, unsigned rows, unsigned iters)
 int
 main()
 {
+    remap::harness::setExperimentLabel("abl_partitioning");
     std::cout << "Ablation: spatial partitioning vs virtualization "
                  "(4 threads, 2000\ninitiations each, function row "
                  "counts vs partition row budgets)\n\n";

@@ -14,6 +14,7 @@
 #include "harness/table.hh"
 #include "isa/builder.hh"
 #include "spl/function.hh"
+#include "harness/manifest.hh"
 
 using namespace remap;
 
@@ -73,6 +74,7 @@ run(unsigned pending, unsigned out_words)
 int
 main()
 {
+    remap::harness::setExperimentLabel("abl_queue_depth");
     std::cout << "Ablation: SPL queue sizing under a bursty "
                  "consumer (3000 messages)\n\n";
     harness::Table t;

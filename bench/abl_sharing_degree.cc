@@ -13,10 +13,12 @@
 #include "harness/experiment.hh"
 #include "harness/parallel.hh"
 #include "harness/table.hh"
+#include "harness/manifest.hh"
 
 int
 main()
 {
+    remap::harness::setExperimentLabel("abl_sharing_degree");
     using namespace remap;
     using workloads::Variant;
 

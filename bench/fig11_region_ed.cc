@@ -10,10 +10,12 @@
 #include "harness/experiment.hh"
 #include "harness/parallel.hh"
 #include "harness/table.hh"
+#include "harness/manifest.hh"
 
 int
 main()
 {
+    remap::harness::setExperimentLabel("fig11");
     using namespace remap;
     using workloads::Mode;
     using workloads::Variant;

@@ -12,6 +12,7 @@
 #include "harness/experiment.hh"
 #include "harness/parallel.hh"
 #include "harness/table.hh"
+#include "harness/manifest.hh"
 
 using namespace remap;
 using workloads::Variant;
@@ -83,6 +84,7 @@ sweep(const char *name, const std::vector<unsigned> &sizes,
 int
 main()
 {
+    remap::harness::setExperimentLabel("fig12");
     std::cout << "Figure 12: per-iteration execution time (cycles) "
                  "vs problem size\n\n";
     sweep("ll2", {8, 16, 32, 64, 128, 256, 512}, false);

@@ -10,6 +10,7 @@
 #include "harness/experiment.hh"
 #include "harness/parallel.hh"
 #include "harness/table.hh"
+#include "harness/manifest.hh"
 
 using namespace remap;
 using workloads::Variant;
@@ -67,6 +68,7 @@ sweep(const char *name, const std::vector<unsigned> &sizes)
 int
 main()
 {
+    remap::harness::setExperimentLabel("fig13");
     std::cout << "Figure 13: improvement of barriers+computation "
                  "over barriers alone\n(negative values = "
                  "computation hurts, expected for tiny problem\n"

@@ -9,6 +9,7 @@
 #include "harness/experiment.hh"
 #include "harness/parallel.hh"
 #include "harness/table.hh"
+#include "harness/manifest.hh"
 
 using namespace remap;
 using workloads::Variant;
@@ -87,6 +88,7 @@ sweep(const char *name, const std::vector<unsigned> &sizes,
 int
 main()
 {
+    remap::harness::setExperimentLabel("fig14");
     std::cout << "Figure 14: relative energy x delay vs problem "
                  "size (lower is better;\n< 1.0 means the parallel "
                  "version beats sequential on ED)\n\n";

@@ -11,10 +11,12 @@
 #include "harness/experiment.hh"
 #include "harness/parallel.hh"
 #include "harness/table.hh"
+#include "harness/manifest.hh"
 
 int
 main()
 {
+    remap::harness::setExperimentLabel("fig8");
     using namespace remap;
     using workloads::Mode;
     power::EnergyModel model;

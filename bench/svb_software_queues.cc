@@ -10,10 +10,12 @@
 
 #include "harness/experiment.hh"
 #include "harness/table.hh"
+#include "harness/manifest.hh"
 
 int
 main()
 {
+    remap::harness::setExperimentLabel("svb");
     using namespace remap;
     using workloads::Variant;
     power::EnergyModel model;

@@ -11,6 +11,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/table.hh"
+#include "harness/manifest.hh"
 
 using namespace remap;
 using workloads::Variant;
@@ -49,6 +50,7 @@ compare(const char *name, const std::vector<unsigned> &sizes)
 int
 main()
 {
+    remap::harness::setExperimentLabel("svc2");
     std::cout << "Section V-C.2: ReMAP barriers+computation vs an "
                  "area-equivalent\nhomogeneous cluster (SPL area -> "
                  "two extra OOO1 cores + free barrier\nnetwork). ED "

@@ -9,10 +9,12 @@
 
 #include "harness/experiment.hh"
 #include "harness/table.hh"
+#include "harness/manifest.hh"
 
 int
 main()
 {
+    remap::harness::setExperimentLabel("table1");
     using namespace remap;
     power::EnergyModel model;
     harness::TableOne t = harness::computeTableOne(model);

@@ -9,10 +9,12 @@
 
 #include "harness/experiment.hh"
 #include "harness/table.hh"
+#include "harness/manifest.hh"
 
 int
 main()
 {
+    remap::harness::setExperimentLabel("table3");
     using namespace remap;
     using workloads::Mode;
     power::EnergyModel model;

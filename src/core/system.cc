@@ -1,7 +1,10 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace remap::sys
@@ -116,6 +119,17 @@ System::System(const SystemConfig &config)
     barrierUnit_.attachFabrics(std::move(raw));
 
     coreDone_.assign(cores_.size(), 1); // no threads bound yet
+
+    if (const char *env = std::getenv("REMAP_TRACE")) {
+        Cycle period = 10'000;
+        if (const char *p = std::getenv("REMAP_TRACE_PERIOD"))
+            period = std::strtoull(p, nullptr, 10);
+        // Under the parallel harness many Systems are constructed
+        // concurrently; suffix the shared REMAP_TRACE path so each
+        // instance writes its own file. An explicit enableTracing()
+        // call uses its path verbatim.
+        enableTracing(trace::uniqueTracePath(env), period);
+    }
 }
 
 ConfigId
@@ -174,6 +188,94 @@ System::isOoo2(CoreId core) const
     return coreIsOoo2_.at(core);
 }
 
+bool
+System::enableTracing(const std::string &path, Cycle sample_period)
+{
+    disableTracing();
+    tracer_ = std::make_unique<trace::Tracer>();
+    if (!tracer_->open(path)) {
+        REMAP_WARN("cannot open trace file '%s'; tracing disabled",
+                   path.c_str());
+        tracer_.reset();
+        return false;
+    }
+    trace::Tracer *t = tracer_.get();
+    t->processName("remap");
+
+    // Track layout: cores first, then fabrics, then the barrier unit.
+    char buf[64];
+    for (auto &core : cores_) {
+        std::snprintf(buf, sizeof(buf), "core%u (%s)", core->id(),
+                      core->params().name.c_str());
+        t->threadName(core->id(), buf);
+        core->setTracer(t, core->id());
+    }
+    const std::uint32_t fabric_base = numCores();
+    for (unsigned f = 0; f < fabrics_.size(); ++f) {
+        std::snprintf(buf, sizeof(buf), "spl%u fabric",
+                      fabrics_[f]->cluster());
+        t->threadName(fabric_base + f, buf);
+        fabrics_[f]->setTracer(t, fabric_base + f);
+    }
+    const std::uint32_t barrier_tid = fabric_base + numFabrics();
+    t->threadName(barrier_tid, "barrier unit");
+    barrierUnit_.setTracer(t, barrier_tid);
+
+    samplePeriod_ = sample_period;
+    if (samplePeriod_ > 0) {
+        registerSamplers();
+        nextSample_ = cycle_ + samplePeriod_;
+    } else {
+        nextSample_ = ~Cycle(0);
+    }
+    return true;
+}
+
+void
+System::disableTracing()
+{
+    if (!tracer_)
+        return;
+    for (auto &core : cores_)
+        core->setTracer(nullptr, 0);
+    for (auto &fabric : fabrics_)
+        fabric->setTracer(nullptr, 0);
+    barrierUnit_.setTracer(nullptr, 0);
+    tracer_->close();
+    tracer_.reset();
+    sampler_ = trace::CounterSampler{};
+    samplePeriod_ = 0;
+    nextSample_ = ~Cycle(0);
+}
+
+void
+System::registerSamplers()
+{
+    sampler_ = trace::CounterSampler{};
+    for (auto &core : cores_) {
+        const std::string track =
+            "core" + std::to_string(core->id());
+        sampler_.add(trace::Category::Core, track + ".committed",
+                     core->id(), "insts", &core->committedInsts);
+        sampler_.add(trace::Category::Core, track + ".fetch_stalls",
+                     core->id(), "cycles", &core->fetchStallCycles);
+    }
+    const std::uint32_t fabric_base = numCores();
+    for (unsigned f = 0; f < fabrics_.size(); ++f) {
+        const std::string track =
+            "spl" + std::to_string(fabrics_[f]->cluster());
+        sampler_.add(trace::Category::Fabric, track + ".initiations",
+                     fabric_base + f, "count",
+                     &fabrics_[f]->initiations);
+        sampler_.add(trace::Category::Fabric,
+                     track + ".row_activations", fabric_base + f,
+                     "count", &fabrics_[f]->rowActivations);
+        sampler_.add(trace::Category::Fabric, track + ".rr_conflicts",
+                     fabric_base + f, "count",
+                     &fabrics_[f]->rrConflicts);
+    }
+}
+
 void
 System::scheduleMigration(ThreadId tid, CoreId to_core, Cycle at)
 {
@@ -202,6 +304,15 @@ System::processMigrations()
                          "migrating an unmapped thread");
             cores_[m.from]->requestDrain();
             m.state = Migration::State::Draining;
+            if (tracer_) {
+                m.drainStart = cycle_;
+                if (m.flowId == 0) {
+                    m.flowId = nextFlowId_++;
+                    tracer_->flowBegin(trace::Category::Migration,
+                                       "migrate", m.from, cycle_,
+                                       m.flowId);
+                }
+            }
             break;
           }
           case Migration::State::Draining: {
@@ -216,6 +327,13 @@ System::processMigrations()
                 from.cancelDrain();
                 m.state = Migration::State::Waiting;
                 m.at = cycle_ + 64;
+                if (tracer_) {
+                    tracer_->instant(
+                        trace::Category::Migration,
+                        "switch_out_blocked", m.from, cycle_,
+                        {trace::Arg{"thread",
+                                    std::uint64_t(m.tid)}});
+                }
                 break;
             }
             if (fabric)
@@ -225,6 +343,17 @@ System::processMigrations()
             noteCoreActivity(m.from);
             m.state = Migration::State::Switching;
             m.resumeAt = cycle_ + config_.migrationSwitchCycles;
+            if (tracer_) {
+                tracer_->complete(
+                    trace::Category::Migration, "drain", m.from,
+                    m.drainStart, cycle_ - m.drainStart,
+                    {trace::Arg{"thread", std::uint64_t(m.tid)}});
+                tracer_->complete(
+                    trace::Category::Migration, "switch", m.to,
+                    cycle_, m.resumeAt - cycle_,
+                    {trace::Arg{"thread", std::uint64_t(m.tid)},
+                     trace::Arg{"from", std::uint64_t(m.from)}});
+            }
             break;
           }
           case Migration::State::Switching: {
@@ -234,6 +363,15 @@ System::processMigrations()
                          "migration target core is occupied");
             mapThread(m.tid, m.to);
             ++migrationsCompleted;
+            if (tracer_ && m.flowId != 0) {
+                tracer_->flowEnd(trace::Category::Migration,
+                                 "migrate", m.to, cycle_, m.flowId);
+                tracer_->instant(
+                    trace::Category::Migration, "resume", m.to,
+                    cycle_,
+                    {trace::Arg{"thread", std::uint64_t(m.tid)},
+                     trace::Arg{"from", std::uint64_t(m.from)}});
+            }
             it = migrations_.erase(it);
             continue;
           }
@@ -304,6 +442,10 @@ System::run(Cycle max_cycles)
         if (!migrations_.empty())
             processMigrations();
         ++cycle_;
+        if (cycle_ >= nextSample_) {
+            sampler_.sample(*tracer_, cycle_);
+            nextSample_ = cycle_ + samplePeriod_;
+        }
 
         if (activeCores_ == 0 && migrations_.empty() &&
             fabrics_idle && barrierUnit_.pendingBarriers() == 0)
@@ -374,6 +516,35 @@ System::resetStats()
     mem_->resetStats();
     for (auto &fabric : fabrics_)
         fabric->resetStats();
+}
+
+void
+System::dumpStatsJson(std::ostream &os)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("schema_version", 1);
+    w.kv("cycle", cycle_);
+    w.kv("num_cores", numCores());
+    w.kv("num_clusters", numClusters());
+    w.kv("num_fabrics", numFabrics());
+    w.kv("migrations_completed", migrationsCompleted.value());
+    w.key("barrier");
+    w.beginObject();
+    w.kv("barriers_completed",
+         barrierUnit_.barriersCompleted.value());
+    w.kv("bus_updates", barrierUnit_.busUpdates.value());
+    w.endObject();
+    w.key("groups");
+    w.beginObject();
+    for (auto &core : cores_)
+        core->dumpStatsJson(w);
+    mem_->dumpStatsJson(w);
+    for (auto &fabric : fabrics_)
+        fabric->dumpStatsJson(w);
+    w.endObject();
+    w.endObject();
+    os << '\n';
 }
 
 } // namespace remap::sys

@@ -32,6 +32,7 @@
 #include "mem/mem_system.hh"
 #include "mem/memory_image.hh"
 #include "power/energy.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 #include "spl/fabric.hh"
 
@@ -181,6 +182,39 @@ class System
     /** Reset all component stats (start of a measured region). */
     void resetStats();
 
+    /**
+     * Dump every component's stats as a single JSON object (one
+     * sub-object per StatGroup under "groups", plus chip-level
+     * fields). The same counters as dumpStats(), machine-readable.
+     */
+    void dumpStatsJson(std::ostream &os);
+
+    /**
+     * Start structured tracing into @p path (Chrome trace-event JSON,
+     * viewable in Perfetto or chrome://tracing), written verbatim.
+     * Also enabled automatically at construction when REMAP_TRACE is
+     * set in the environment; that path is made unique per System
+     * instance (trace::uniqueTracePath) so concurrently-running
+     * instances never share a file.
+     *
+     * @param sample_period when non-zero, snapshot selected counters
+     *        into counter events every @p sample_period simulated
+     *        cycles (REMAP_TRACE_PERIOD overrides the default 10000
+     *        for environment-enabled tracing).
+     * @return false (tracing stays off) if the file cannot be opened.
+     *
+     * Tracing is pure observation: simulated cycles, statistics and
+     * energy are bit-identical with tracing on or off.
+     */
+    bool enableTracing(const std::string &path,
+                       Cycle sample_period = 0);
+
+    /** Finish and close the trace file (safe when not tracing). */
+    void disableTracing();
+
+    /** The active tracer, or nullptr when tracing is off. */
+    trace::Tracer *tracer() { return tracer_.get(); }
+
   private:
     SystemConfig config_;
     mem::MemoryImage image_;
@@ -231,9 +265,24 @@ class System
             Switching,
         } state = State::Waiting;
         Cycle resumeAt = 0;
+        /** @{ @name Trace-only bookkeeping (never affects timing). */
+        std::uint64_t flowId = 0;
+        Cycle drainStart = 0;
+        /** @} */
     };
     void processMigrations();
     std::vector<Migration> migrations_;
+
+    /** Register the sampled counters for the periodic sampler. */
+    void registerSamplers();
+
+    std::unique_ptr<trace::Tracer> tracer_;
+    trace::CounterSampler sampler_;
+    Cycle samplePeriod_ = 0;
+    /** Next cycle to sample at; ~0 (never) while tracing is off, so
+     *  the run loop pays one predictable compare per cycle. */
+    Cycle nextSample_ = ~Cycle(0);
+    std::uint64_t nextFlowId_ = 1;
 };
 
 } // namespace remap::sys

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace remap::cpu
 {
@@ -102,6 +103,9 @@ OooCore::OooCore(CoreId id, const CoreParams &params,
     statGroup_.addCounter("spl_fetch_stalls", &splFetchStalls);
     statGroup_.addCounter("fetch_stall_cycles", &fetchStallCycles);
     statGroup_.addCounter("active_cycles", &activeCycles);
+    statGroup_.addCounter("bpred_lookups", &bpred_.lookups);
+    statGroup_.addCounter("bpred_mispredicts", &bpred_.mispredicts);
+    statGroup_.addCounter("bpred_btb_misses", &bpred_.btbMisses);
 }
 
 void
@@ -109,6 +113,32 @@ OooCore::attachSpl(spl::SplFabric *fabric, unsigned local_slot)
 {
     spl_ = fabric;
     splSlot_ = local_slot;
+}
+
+void
+OooCore::setTracer(trace::Tracer *t, std::uint32_t tid)
+{
+    tracer_ = t;
+    traceTid_ = tid;
+    splCommitStallStart_ = 0;
+    splFetchStallStart_ = 0;
+}
+
+void
+OooCore::traceEndStall(Cycle now, bool commit_side)
+{
+    Cycle &start =
+        commit_side ? splCommitStallStart_ : splFetchStallStart_;
+    if (start == 0 || now <= start) {
+        start = 0;
+        return;
+    }
+    tracer_->complete(trace::Category::Core,
+                      commit_side ? "spl_commit_stall"
+                                  : "spl_fetch_stall",
+                      traceTid_, start, now - start,
+                      {trace::Arg{"core", std::uint64_t(id_)}});
+    start = 0;
 }
 
 void
@@ -447,8 +477,12 @@ OooCore::fetch(Cycle now)
         const std::uint32_t prev_pc = ctx_->pc;
         if (!funcExecute(inst, d)) {
             ++splFetchStalls;
+            if (tracer_ && splFetchStallStart_ == 0)
+                splFetchStallStart_ = now;
             break;
         }
+        if (tracer_ && splFetchStallStart_ != 0)
+            traceEndStall(now, false);
         d.seq = nextSeq_++;
         d.fbReady = std::max(icache_ready, now + 1);
         ++fetchedInsts;
@@ -687,7 +721,7 @@ OooCore::issue(Cycle now)
                 break;
             }
             --ldst_units;
-            const std::int32_t timed = spl_->popOutput(splSlot_);
+            const std::int32_t timed = spl_->popOutput(splSlot_, now);
             REMAP_ASSERT(timed == d.splValue,
                          "timed/functional SPL value mismatch "
                          "(%d vs %d)", timed, d.splValue);
@@ -764,6 +798,8 @@ OooCore::commit(Cycle now)
           case isa::OpClass::SplLoad:
             if (!spl_->canLoad(splSlot_)) {
                 ++splCommitStalls;
+                if (tracer_ && splCommitStallStart_ == 0)
+                    splCommitStallStart_ = now;
                 goto commit_stalled;
             }
             spl_->load(splSlot_,
@@ -774,6 +810,8 @@ OooCore::commit(Cycle now)
           case isa::OpClass::SplLoadMem:
             if (!spl_->canLoad(splSlot_)) {
                 ++splCommitStalls;
+                if (tracer_ && splCommitStallStart_ == 0)
+                    splCommitStallStart_ = now;
                 goto commit_stalled;
             }
             spl_->load(splSlot_,
@@ -797,6 +835,8 @@ OooCore::commit(Cycle now)
             if (d.si->op == isa::Opcode::SPL_BAR) {
                 if (!spl_->canBar(splSlot_)) {
                     ++splCommitStalls;
+                    if (tracer_ && splCommitStallStart_ == 0)
+                        splCommitStallStart_ = now;
                     goto commit_stalled;
                 }
                 spl_->bar(splSlot_,
@@ -806,6 +846,8 @@ OooCore::commit(Cycle now)
             } else {
                 if (!spl_->canInit(splSlot_, d.si->imm2)) {
                     ++splCommitStalls;
+                    if (tracer_ && splCommitStallStart_ == 0)
+                        splCommitStallStart_ = now;
                     goto commit_stalled;
                 }
                 spl_->init(splSlot_,
@@ -835,6 +877,8 @@ OooCore::commit(Cycle now)
             break;
         }
 
+        if (tracer_ && splCommitStallStart_ != 0)
+            traceEndStall(now, true);
         ++committedInsts;
         if (trace_) {
             *trace_ << now << " core" << id_ << " pc=0x" << std::hex
@@ -864,19 +908,18 @@ void
 OooCore::dumpStats(std::ostream &os)
 {
     statGroup_.dump(os);
-    os << statGroup_.name() << ".bpred_lookups "
-       << bpred_.lookups.value() << '\n';
-    os << statGroup_.name() << ".bpred_mispredicts "
-       << bpred_.mispredicts.value() << '\n';
+}
+
+void
+OooCore::dumpStatsJson(json::Writer &w)
+{
+    statGroup_.dumpJson(w);
 }
 
 void
 OooCore::resetStats()
 {
     statGroup_.reset();
-    bpred_.lookups.reset();
-    bpred_.mispredicts.reset();
-    bpred_.btbMisses.reset();
 }
 
 } // namespace remap::cpu

@@ -150,6 +150,8 @@ class OooCore
 
     /** Dump core + predictor stats. */
     void dumpStats(std::ostream &os);
+    /** Emit core + predictor stats into an open JSON object scope. */
+    void dumpStatsJson(json::Writer &w);
     /** Reset all statistics. */
     void resetStats();
 
@@ -159,6 +161,14 @@ class OooCore
      * debugging kernels, not for measurement runs.
      */
     void setTraceStream(std::ostream *os) { trace_ = os; }
+
+    /**
+     * Emit SPL stall spans (commit-side initiation/barrier stalls,
+     * fetch-side spl_store stalls) to @p t; this core's events land on
+     * track @p tid. Null disables. Observation only: the pipeline is
+     * unaffected.
+     */
+    void setTracer(trace::Tracer *t, std::uint32_t tid);
 
   private:
     enum class Stage : std::uint8_t
@@ -237,6 +247,16 @@ class OooCore
     Cycle fpDivBusyUntil_ = 0;
     Cycle storeBufferDrainCycle_ = 0;
     std::ostream *trace_ = nullptr;
+
+    /** Close any open SPL stall span at @p now (trace-only state). */
+    void traceEndStall(Cycle now, bool commit_side);
+
+    trace::Tracer *tracer_ = nullptr;
+    std::uint32_t traceTid_ = 0;
+    /** Start cycle of an open commit-side SPL stall span, or 0. */
+    Cycle splCommitStallStart_ = 0;
+    /** Start cycle of an open fetch-side SPL stall span, or 0. */
+    Cycle splFetchStallStart_ = 0;
 
     StatGroup statGroup_;
 };

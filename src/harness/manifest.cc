@@ -1,0 +1,122 @@
+#include "harness/manifest.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace remap::harness
+{
+
+namespace
+{
+
+std::string &
+labelStorage()
+{
+    static std::string label = "run";
+    return label;
+}
+
+} // namespace
+
+void
+setExperimentLabel(const std::string &label)
+{
+    labelStorage() = label;
+    setLogContext(label);
+}
+
+const std::string &
+experimentLabel()
+{
+    return labelStorage();
+}
+
+bool
+manifestsEnabled()
+{
+    const char *dir = std::getenv("REMAP_MANIFEST");
+    return dir != nullptr && *dir != '\0';
+}
+
+std::string
+writeRunManifest(const std::vector<RegionJob> &jobs,
+                 const std::vector<RegionResult> &results,
+                 const std::vector<JobTiming> &timings,
+                 unsigned pool_workers, const std::string &path)
+{
+    std::string out_path = path;
+    if (out_path.empty()) {
+        const char *dir = std::getenv("REMAP_MANIFEST");
+        if (!dir || !*dir)
+            return "";
+        static std::atomic<std::uint64_t> seq{0};
+        out_path = std::string(dir) + "/" + experimentLabel() +
+                   "_manifest_" +
+                   std::to_string(seq.fetch_add(1)) + ".json";
+    }
+
+    std::ofstream os(out_path);
+    if (!os) {
+        REMAP_WARN("cannot write run manifest '%s'",
+                   out_path.c_str());
+        return "";
+    }
+
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("schema_version", 1);
+    w.kv("experiment", experimentLabel());
+    w.key("host");
+    w.beginObject();
+    w.kv("hardware_concurrency",
+         std::uint64_t(std::thread::hardware_concurrency()));
+    if (const char *env = std::getenv("REMAP_JOBS"))
+        w.kv("remap_jobs", env);
+    else
+        w.key("remap_jobs").nullValue();
+    w.kv("pool_workers", pool_workers);
+    w.endObject();
+    // Workload inputs are synthetic and fully deterministic; the
+    // RunSpec below is the complete reproduction recipe for a job.
+    w.kv("deterministic_inputs", true);
+    w.key("jobs");
+    w.beginArray();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const RegionJob &job = jobs[i];
+        w.beginObject();
+        w.kv("workload", job.info ? job.info->name : "");
+        w.kv("variant", workloads::variantName(job.spec.variant));
+        w.key("spec");
+        w.beginObject();
+        w.kv("problem_size", job.spec.problemSize);
+        w.kv("threads", job.spec.threads);
+        w.kv("copies", job.spec.copies);
+        w.kv("iterations", job.spec.iterations);
+        w.endObject();
+        if (i < results.size()) {
+            w.key("result");
+            w.beginObject();
+            w.kv("cycles", results[i].cycles);
+            w.kv("energy_j", results[i].energyJ);
+            w.kv("work_units", results[i].work);
+            w.kv("cycles_per_unit", results[i].cyclesPerUnit());
+            w.endObject();
+        }
+        if (i < timings.size()) {
+            w.kv("wall_ms", timings[i].wallMs);
+            w.kv("worker", timings[i].worker);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+    return out_path;
+}
+
+} // namespace remap::harness

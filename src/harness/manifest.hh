@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Run manifests: one JSON file per parallel batch recording what was
+ * simulated (workload, variant, full RunSpec), what came out (cycles,
+ * energy, work units) and how the host executed it (per-job wall time
+ * and worker from the JobPool, worker count, REMAP_JOBS).
+ *
+ * Manifests are written by runRegions() — the funnel every batch
+ * driver goes through — when REMAP_MANIFEST names a directory (or "."
+ * for the current one). File names are
+ * "<label>_manifest_<seq>.json", where the label is set per driver
+ * via setExperimentLabel() and <seq> is a process-wide counter, so
+ * one driver invocation can emit several manifests (one per batch)
+ * without clobbering.
+ */
+
+#ifndef REMAP_HARNESS_MANIFEST_HH
+#define REMAP_HARNESS_MANIFEST_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/parallel.hh"
+
+namespace remap::harness
+{
+
+/**
+ * Name the running experiment (e.g. "fig8"). Used in manifest file
+ * names and as the warn()/inform() log context of the main thread.
+ * Call once near the top of a driver's main().
+ */
+void setExperimentLabel(const std::string &label);
+
+/** The current label ("run" until a driver sets one). */
+const std::string &experimentLabel();
+
+/** True when REMAP_MANIFEST is set to a writable directory. */
+bool manifestsEnabled();
+
+/**
+ * Write one manifest covering a completed batch. @p jobs, @p results
+ * and @p timings are index-aligned. Called by runRegions(); exposed
+ * for tests (which pass an explicit @p path to avoid the env gate).
+ * @return the path written, or an empty string when skipped/failed.
+ */
+std::string writeRunManifest(const std::vector<RegionJob> &jobs,
+                             const std::vector<RegionResult> &results,
+                             const std::vector<JobTiming> &timings,
+                             unsigned pool_workers,
+                             const std::string &path = "");
+
+} // namespace remap::harness
+
+#endif // REMAP_HARNESS_MANIFEST_HH

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "harness/manifest.hh"
 #include "sim/logging.hh"
 
 namespace remap::harness
@@ -99,6 +100,8 @@ struct JobPool::Impl
     void
     execute(const Task &t, unsigned self)
     {
+        ScopedLogContext ctx("worker" + std::to_string(self) +
+                             ".job" + std::to_string(t.index));
         const auto t0 = std::chrono::steady_clock::now();
         t.batch->jobs[t.index]();
         t.batch->timings[t.index].wallMs = elapsedMs(t0);
@@ -116,6 +119,7 @@ struct JobPool::Impl
     workerLoop(unsigned self)
     {
         in_pool_worker = true;
+        setLogContext("worker" + std::to_string(self));
         Task t;
         while (true) {
             if (tryPop(self, t) || trySteal(self, t)) {
@@ -205,6 +209,10 @@ JobPool::run(std::vector<std::function<void()>> jobs)
         // Serial path: REMAP_JOBS=1, or a nested submission from a
         // worker thread (waiting on our own pool would deadlock).
         for (std::size_t i = 0; i < n; ++i) {
+            ScopedLogContext ctx(
+                logContext().empty()
+                    ? "job" + std::to_string(i)
+                    : logContext() + ".job" + std::to_string(i));
             const auto t0 = std::chrono::steady_clock::now();
             jobs[i]();
             timings[i].wallMs = elapsedMs(t0);
@@ -296,6 +304,8 @@ runRegions(const std::vector<RegionJob> &jobs,
             results[i] = runRegion(*jobs[i].info, jobs[i].spec, model);
         });
     std::vector<JobTiming> t = p.run(std::move(fns));
+    if (manifestsEnabled())
+        writeRunManifest(jobs, results, t, p.workers());
     if (timings)
         *timings = std::move(t);
     return results;

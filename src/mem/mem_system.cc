@@ -207,6 +207,17 @@ MemSystem::dumpStats(std::ostream &os)
 }
 
 void
+MemSystem::dumpStatsJson(json::Writer &w)
+{
+    statGroup_.dumpJson(w);
+    for (unsigned c = 0; c < l2_.size(); ++c) {
+        l1i_[c]->stats().dumpJson(w);
+        l1d_[c]->stats().dumpJson(w);
+        l2_[c]->stats().dumpJson(w);
+    }
+}
+
+void
 MemSystem::resetStats()
 {
     statGroup_.reset();

@@ -98,6 +98,10 @@ class MemSystem
     /** Dump every cache's stats plus bus/memory counters. */
     void dumpStats(std::ostream &os);
 
+    /** Emit the same stats into an open JSON object scope of @p w
+     *  (one sub-object per StatGroup). */
+    void dumpStatsJson(json::Writer &w);
+
     /** Reset all statistics (start of a measured region). */
     void resetStats();
 

@@ -1,10 +1,70 @@
 #include "sim/logging.hh"
 
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace remap
 {
+
+namespace
+{
+
+/** Serializes all log output so concurrent harness workers never
+ *  interleave within (or between) messages. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+thread_local std::string log_context;
+
+/** Compose the full line and hand it to stderr as ONE write, under
+ *  the log mutex, so parallel-harness output stays line-atomic. */
+void
+emitLine(const char *level, const std::string &msg)
+{
+    std::string line = level;
+    line += ": ";
+    if (!log_context.empty()) {
+        line += '[';
+        line += log_context;
+        line += "] ";
+    }
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lk(logMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+setLogContext(std::string ctx)
+{
+    log_context = std::move(ctx);
+}
+
+const std::string &
+logContext()
+{
+    return log_context;
+}
+
+ScopedLogContext::ScopedLogContext(std::string ctx)
+    : prev_(log_context)
+{
+    log_context = std::move(ctx);
+}
+
+ScopedLogContext::~ScopedLogContext()
+{
+    log_context = std::move(prev_);
+}
+
 namespace detail
 {
 
@@ -30,29 +90,29 @@ formatString(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
-                 line);
+    emitLine("panic",
+             msg + detail::formatString("\n  at %s:%d", file, line));
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
-                 line);
+    emitLine("fatal",
+             msg + detail::formatString("\n  at %s:%d", file, line));
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info", msg);
 }
 
 } // namespace detail

@@ -35,6 +35,31 @@ std::string formatString(const char *fmt, ...)
 } // namespace detail
 
 /**
+ * Set this thread's log context, prefixed to every warn()/inform()
+ * message as "[ctx]". The parallel harness tags worker threads with
+ * the active worker/job so batched-simulation logs attribute cleanly;
+ * an empty string clears the prefix.
+ */
+void setLogContext(std::string ctx);
+
+/** This thread's current log context (empty when unset). */
+const std::string &logContext();
+
+/** RAII helper restoring the previous log context on scope exit. */
+class ScopedLogContext
+{
+  public:
+    explicit ScopedLogContext(std::string ctx);
+    ~ScopedLogContext();
+
+    ScopedLogContext(const ScopedLogContext &) = delete;
+    ScopedLogContext &operator=(const ScopedLogContext &) = delete;
+
+  private:
+    std::string prev_;
+};
+
+/**
  * Abort the simulation due to an internal simulator bug.
  * Mirrors gem5's panic(): something happened that should never happen
  * regardless of user input.

@@ -1,5 +1,7 @@
 #include "sim/stats.hh"
 
+#include "sim/json.hh"
+
 namespace remap
 {
 
@@ -11,6 +13,18 @@ StatGroup::dump(std::ostream &os) const
            << '\n';
     for (const auto &[stat_name, avg] : averages_)
         os << name_ << '.' << stat_name << ' ' << avg->mean() << '\n';
+}
+
+void
+StatGroup::dumpJson(json::Writer &w) const
+{
+    w.key(name_);
+    w.beginObject();
+    for (const auto &[stat_name, counter] : counters_)
+        w.kv(stat_name, counter->value());
+    for (const auto &[stat_name, avg] : averages_)
+        w.kv(stat_name, avg->mean());
+    w.endObject();
 }
 
 void

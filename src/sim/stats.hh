@@ -22,6 +22,11 @@
 namespace remap
 {
 
+namespace json
+{
+class Writer;
+}
+
 /** A named monotonically increasing 64-bit counter. */
 class StatCounter
 {
@@ -154,6 +159,13 @@ class StatGroup
     /** Write "group.stat value" lines to @p os. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Emit this group as `"name": {stat: value, ...}` into an open
+     * JSON object scope of @p w (counters as integers, averages as
+     * their mean).
+     */
+    void dumpJson(json::Writer &w) const;
+
     /** Reset every registered stat. */
     void reset();
 
@@ -162,6 +174,13 @@ class StatGroup
     counters() const
     {
         return counters_;
+    }
+
+    /** Access registered averages (for programmatic queries). */
+    const std::map<std::string, StatAverage *> &
+    averages() const
+    {
+        return averages_;
     }
 
   private:

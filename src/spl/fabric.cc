@@ -1,8 +1,10 @@
 #include "spl/fabric.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace remap::spl
 {
@@ -127,11 +129,23 @@ BarrierUnit::arrive(std::uint32_t id, ThreadId thread,
     auto it = barriers_.find(id);
     REMAP_ASSERT(it != barriers_.end(), "arrival at undeclared barrier");
     BarrierState &b = it->second;
-    if (b.arrivals.empty())
+    if (b.arrivals.empty()) {
         ++pending_;
+        b.firstArrival = now;
+    }
     b.arrivals.push_back(
         Arrival{thread, cluster, local_core, std::move(inputs), now});
     ++busUpdates;
+    if (tracer_) {
+        tracer_->instant(
+            trace::Category::Barrier, "arrive", traceTid_, now,
+            {trace::Arg{"barrier", std::uint64_t(id)},
+             trace::Arg{"thread", std::uint64_t(thread)},
+             trace::Arg{"cluster", std::uint64_t(cluster)},
+             trace::Arg{"arrived",
+                        std::uint64_t(b.arrivals.size())},
+             trace::Arg{"total", std::uint64_t(b.total)}});
+    }
     if (b.arrivals.size() == b.total)
         release(id, b, cfg);
 }
@@ -139,7 +153,6 @@ BarrierUnit::arrive(std::uint32_t id, ThreadId thread,
 void
 BarrierUnit::release(std::uint32_t id, BarrierState &b, ConfigId cfg)
 {
-    (void)id;
     // Group arrivals per cluster; each cluster's fabric performs the
     // regional computation over its local participants.
     std::unordered_map<ClusterId, std::vector<const Arrival *>>
@@ -147,6 +160,7 @@ BarrierUnit::release(std::uint32_t id, BarrierState &b, ConfigId cfg)
     for (const Arrival &a : b.arrivals)
         by_cluster[a.cluster].push_back(&a);
 
+    Cycle last_release = 0;
     for (auto &[cluster, locals] : by_cluster) {
         Cycle release_cycle = 0;
         for (const Arrival &a : b.arrivals) {
@@ -154,6 +168,7 @@ BarrierUnit::release(std::uint32_t id, BarrierState &b, ConfigId cfg)
                 (a.cluster != cluster ? params_.barrierBusLatency : 0);
             release_cycle = std::max(release_cycle, seen);
         }
+        last_release = std::max(last_release, release_cycle);
         std::vector<unsigned> cores;
         std::vector<std::vector<std::int32_t>> inputs;
         for (const Arrival *a : locals) {
@@ -167,6 +182,16 @@ BarrierUnit::release(std::uint32_t id, BarrierState &b, ConfigId cfg)
                                             release_cycle);
     }
     ++barriersCompleted;
+    if (tracer_) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "barrier%u", id);
+        tracer_->complete(
+            trace::Category::Barrier, name, traceTid_,
+            b.firstArrival, last_release - b.firstArrival,
+            {trace::Arg{"participants", std::uint64_t(b.total)},
+             trace::Arg{"clusters",
+                        std::uint64_t(by_cluster.size())}});
+    }
     b.arrivals.clear();
     --pending_;
 }
@@ -243,6 +268,55 @@ SplFabric::SplFabric(ClusterId cluster, const SplParams &params,
     statGroup_.addCounter("config_switches", &configSwitches);
     statGroup_.addCounter("rr_conflicts", &rrConflicts);
     statGroup_.addCounter("virtualized_inits", &virtualizedInits);
+}
+
+void
+SplFabric::setTracer(trace::Tracer *t, std::uint32_t tid)
+{
+    tracer_ = t;
+    traceTid_ = tid;
+    queueTrackNames_.clear();
+    if (!t)
+        return;
+    for (unsigned c = 0; c < params_.coresPerCluster; ++c) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "spl%u.core%u", cluster_, c);
+        queueTrackNames_.emplace_back(buf);
+    }
+}
+
+void
+SplFabric::traceQueueDepth(unsigned core, Cycle now)
+{
+    const CorePort &port = ports_[core];
+    tracer_->counter(
+        trace::Category::Queue, queueTrackNames_[core].c_str(),
+        traceTid_, now,
+        {trace::Arg{"pending_inits",
+                    std::uint64_t(port.pending.size())},
+         trace::Arg{"output_words",
+                    std::uint64_t(port.output.size())}});
+}
+
+void
+SplFabric::traceAccept(const char *name, unsigned src_core,
+                       Cycle start, Cycle complete, unsigned rows,
+                       unsigned ii, bool is_barrier)
+{
+    tracer_->complete(
+        trace::Category::Fabric, name, traceTid_, start,
+        complete - start,
+        {trace::Arg{"src_core", std::uint64_t(src_core)},
+         trace::Arg{"rows", std::uint64_t(rows)},
+         trace::Arg{"ii", std::uint64_t(ii)},
+         trace::Arg{"kind", is_barrier ? "barrier" : "init"}});
+    if (ii > 1) {
+        tracer_->instant(
+            trace::Category::Fabric, "virtualization_stall",
+            traceTid_, start,
+            {trace::Arg{"rows", std::uint64_t(rows)},
+             trace::Arg{"ii", std::uint64_t(ii)}});
+    }
 }
 
 void
@@ -338,6 +412,8 @@ SplFabric::init(unsigned core, ConfigId cfg, std::int64_t dest_thread,
         dest_core =
             *threadTable_.coreOf(static_cast<ThreadId>(dest_thread));
     threadTable_.addInFlight(dest_core);
+    if (tracer_)
+        traceQueueDepth(core, now);
 }
 
 bool
@@ -367,7 +443,7 @@ SplFabric::outputReady(unsigned core, Cycle now) const
 }
 
 std::int32_t
-SplFabric::popOutput(unsigned core)
+SplFabric::popOutput(unsigned core, Cycle now)
 {
     CorePort &port = ports_[core];
     REMAP_ASSERT(!port.output.empty(), "pop from empty output queue");
@@ -375,6 +451,8 @@ SplFabric::popOutput(unsigned core)
     port.output.pop_front();
     ++outputWordsPopped;
     threadTable_.removeInFlight(core);
+    if (tracer_)
+        traceQueueDepth(core, now);
     return v;
 }
 
@@ -461,6 +539,8 @@ SplFabric::deliverOutput(unsigned core,
     CorePort &port = ports_[core];
     for (std::int32_t w : words)
         port.output.emplace_back(w, when);
+    if (tracer_)
+        traceQueueDepth(core, when);
 }
 
 void
@@ -583,6 +663,9 @@ SplFabric::acceptPending(Partition &part, Cycle now)
             rowActivations += rows;
             ++initiations;
             ++barrierOps;
+            if (tracer_)
+                traceAccept(fn.name().c_str(), op.srcCore, start,
+                            op.completeCycle, rows, ii, true);
             inFlight_.push_back(std::move(op));
             return;
         }
@@ -599,6 +682,11 @@ SplFabric::acceptPending(Partition &part, Cycle now)
     if (candidates == 0)
         return;
     rrConflicts += candidates - 1;
+    if (tracer_ && candidates > 1) {
+        tracer_->instant(
+            trace::Category::Fabric, "rr_conflict", traceTid_, now,
+            {trace::Arg{"candidates", std::uint64_t(candidates)}});
+    }
 
     for (unsigned i = 0; i < part.numCores; ++i) {
         unsigned idx = (part.rrNext + i) % part.numCores;
@@ -640,6 +728,11 @@ SplFabric::acceptPending(Partition &part, Cycle now)
             Cycle(std::max(1u, ii)) * params_.coreCyclesPerSplCycle;
         rowActivations += rows;
         ++initiations;
+        if (tracer_) {
+            traceAccept(fn.name().c_str(), c, start,
+                        op.completeCycle, rows, ii, false);
+            traceQueueDepth(c, now);
+        }
         inFlight_.push_back(std::move(op));
         return;
     }

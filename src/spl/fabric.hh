@@ -31,6 +31,11 @@
 #include "sim/types.hh"
 #include "spl/function.hh"
 
+namespace remap::trace
+{
+class Tracer;
+}
+
 namespace remap::spl
 {
 
@@ -173,6 +178,15 @@ class BarrierUnit
     StatCounter busUpdates;
     /** @} */
 
+    /** Emit arrive instants and arrive->release spans to @p t on
+     *  track @p tid (null disables). Observation only: timing and
+     *  results are unchanged. */
+    void setTracer(trace::Tracer *t, std::uint32_t tid)
+    {
+        tracer_ = t;
+        traceTid_ = tid;
+    }
+
   private:
     struct Arrival
     {
@@ -186,6 +200,8 @@ class BarrierUnit
     {
         unsigned total = 0;
         std::vector<Arrival> arrivals;
+        /** Cycle of the instance's first arrival (trace span start). */
+        Cycle firstArrival = 0;
     };
 
     void release(std::uint32_t id, BarrierState &b, ConfigId cfg);
@@ -197,6 +213,8 @@ class BarrierUnit
     std::unordered_map<std::uint32_t, BarrierState> funcBarriers_;
     /** Barriers with at least one arrival outstanding. */
     std::size_t pending_ = 0;
+    trace::Tracer *tracer_ = nullptr;
+    std::uint32_t traceTid_ = 0;
 };
 
 /**
@@ -253,8 +271,23 @@ class SplFabric
 
     /** True when a result word is available to @p core at @p now. */
     bool outputReady(unsigned core, Cycle now) const;
-    /** Pop the head result word (caller must check outputReady). */
-    std::int32_t popOutput(unsigned core);
+    /** Pop the head result word (caller must check outputReady).
+     *  @p now timestamps the queue-depth trace sample; callers
+     *  without tracing may omit it. */
+    std::int32_t popOutput(unsigned core, Cycle now = 0);
+
+    /** Sealed-but-unaccepted initiations queued by @p core. */
+    unsigned
+    pendingInitDepth(unsigned core) const
+    {
+        return static_cast<unsigned>(ports_.at(core).pending.size());
+    }
+    /** Result words currently queued for @p core. */
+    unsigned
+    outputQueueDepth(unsigned core) const
+    {
+        return static_cast<unsigned>(ports_.at(core).output.size());
+    }
 
     // ---- functional-preview interface (execute-at-fetch) ----
     //
@@ -329,8 +362,17 @@ class SplFabric
 
     /** Dump all counters. */
     void dumpStats(std::ostream &os) { statGroup_.dump(os); }
+    /** Emit counters into an open JSON object scope. */
+    void dumpStatsJson(json::Writer &w) { statGroup_.dumpJson(w); }
     /** Reset all counters. */
     void resetStats() { statGroup_.reset(); }
+
+    /**
+     * Emit fabric activity (initiation spans, virtualization and
+     * sharing instants, per-core queue-depth counters) to @p t on
+     * track @p tid. Observation only: fabric timing is unchanged.
+     */
+    void setTracer(trace::Tracer *t, std::uint32_t tid);
 
   private:
     struct PendingInit
@@ -384,6 +426,13 @@ class SplFabric
     void acceptPending(Partition &part, Cycle now);
     void completeOps(Cycle now);
 
+    /** Counter-event snapshot of @p core's queue depths. */
+    void traceQueueDepth(unsigned core, Cycle now);
+    /** Duration event for an accepted op on the fabric. */
+    void traceAccept(const char *name, unsigned src_core, Cycle start,
+                     Cycle complete, unsigned rows, unsigned ii,
+                     bool is_barrier);
+
     ClusterId cluster_;
     SplParams params_;
     const ConfigStore *configs_;
@@ -397,6 +446,10 @@ class SplFabric
     /** Total sealed-but-unaccepted initiations across all ports. */
     std::size_t pendingInits_ = 0;
     StatGroup statGroup_;
+    trace::Tracer *tracer_ = nullptr;
+    std::uint32_t traceTid_ = 0;
+    /** Pre-built per-core counter-track names ("spl0.core2"). */
+    std::vector<std::string> queueTrackNames_;
 };
 
 } // namespace remap::spl
