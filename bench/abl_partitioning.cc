@@ -16,6 +16,7 @@
 #include "isa/builder.hh"
 #include "spl/function.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 using namespace remap;
 
@@ -110,5 +111,6 @@ main()
     std::cout << "\nSmall functions: partitioning removes sharing "
                  "conflicts. Functions\nlarger than a partition pay "
                  "virtualized initiation intervals.\n";
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

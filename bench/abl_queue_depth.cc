@@ -15,6 +15,7 @@
 #include "isa/builder.hh"
 #include "spl/function.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 using namespace remap;
 
@@ -101,5 +102,6 @@ main()
     t.print(std::cout);
     std::cout << "\nDeeper queues absorb consumer bursts; beyond "
                  "the burst size, more\ncapacity stops helping.\n";
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

@@ -14,6 +14,7 @@
 #include "harness/parallel.hh"
 #include "harness/table.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 int
 main()
@@ -70,5 +71,6 @@ main()
     std::cout << "\nTotal throughput rises with sharing while "
                  "per-thread latency degrades\nonly mildly — the "
                  "premise of the shared-fabric cluster.\n";
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "harness/parallel.hh"
 #include "harness/table.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 int
 main()
@@ -78,5 +79,6 @@ main()
               << harness::fmtPct(harness::geomean(vs_ooo2_gains) -
                                  1.0)
               << "\n";
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

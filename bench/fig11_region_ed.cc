@@ -11,6 +11,7 @@
 #include "harness/parallel.hh"
 #include "harness/table.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 int
 main()
@@ -62,5 +63,6 @@ main()
     std::cout << "\n2Th+CompComm geometric-mean relative ED: "
               << harness::fmt(harness::geomean(compcomm_eds))
               << " (paper: below 1.0 in all cases)\n";
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

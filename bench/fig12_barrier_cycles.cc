@@ -13,6 +13,7 @@
 #include "harness/parallel.hh"
 #include "harness/table.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 using namespace remap;
 using workloads::Variant;
@@ -91,5 +92,6 @@ main()
     sweep("ll6", {8, 16, 32, 64, 128, 256}, false);
     sweep("ll3", {32, 64, 128, 256, 512, 1024}, true);
     sweep("dijkstra", {32, 64, 96, 128, 160, 192}, true);
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "harness/parallel.hh"
 #include "harness/table.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 using namespace remap;
 using workloads::Variant;
@@ -75,5 +76,6 @@ main()
                  "sizes at high thread counts in LL3)\n\n";
     sweep("ll3", {32, 64, 128, 256, 512, 1024});
     sweep("dijkstra", {32, 64, 96, 128, 160, 192});
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

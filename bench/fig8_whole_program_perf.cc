@@ -12,6 +12,7 @@
 #include "harness/parallel.hh"
 #include "harness/table.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 int
 main()
@@ -57,5 +58,6 @@ main()
               << harness::fmtPct(
                      harness::geomean(remap_vs_comm_comm) - 1.0)
               << " (paper: 41%)\n";
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

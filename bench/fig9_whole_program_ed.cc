@@ -10,6 +10,7 @@
 #include "harness/parallel.hh"
 #include "harness/table.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 int
 main()
@@ -47,5 +48,6 @@ main()
               << harness::fmt(harness::geomean(ed_ratio))
               << " (paper: ~0.65, i.e. 35% lower energy at 45% "
                  "higher performance)\n";
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

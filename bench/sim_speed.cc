@@ -23,6 +23,7 @@
 #include "core/system.hh"
 #include "harness/experiment.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 #include "harness/parallel.hh"
 #include "sim/json.hh"
 #include "isa/builder.hh"
@@ -209,6 +210,81 @@ BM_FigureSweep(benchmark::State &state)
 }
 BENCHMARK(BM_FigureSweep)->Unit(benchmark::kMillisecond);
 
+/** The fig12-shaped batch both snapshot-sweep benchmarks run. */
+std::vector<harness::RegionJob>
+makeSnapshotSweepJobs()
+{
+    using workloads::Variant;
+    const auto &info = workloads::byName("ll2");
+    std::vector<harness::RegionJob> jobs;
+    for (unsigned size : {16u, 32u, 64u}) {
+        for (Variant v :
+             {Variant::Seq, Variant::SwBarrier, Variant::HwBarrier}) {
+            workloads::RunSpec spec;
+            spec.variant = v;
+            spec.problemSize = size;
+            spec.threads = v == Variant::Seq ? 1 : 8;
+            jobs.push_back(harness::RegionJob{&info, spec});
+        }
+    }
+    return jobs;
+}
+
+/**
+ * The BM_FigureSweep-style batch with the snapshot cache disabled:
+ * every region simulates from cycle 0. Baseline for
+ * BM_SnapshotSweepWarm below; the warm/cold wall_ms_per_iter ratio in
+ * BENCH_sim_speed.json is the tracked speedup of warm-started sweeps.
+ */
+void
+BM_SnapshotSweepCold(benchmark::State &state)
+{
+    power::EnergyModel model;
+    auto jobs = makeSnapshotSweepJobs();
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        auto results = harness::runRegions(jobs, model);
+        for (const auto &r : results)
+            sim_cycles += r.cycles;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_cycles),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SnapshotSweepCold)->Unit(benchmark::kMillisecond);
+
+/**
+ * The same batch warm-started from a pre-primed snapshot cache, the
+ * steady state of a figure driver re-running shared baselines.
+ * Results are bit-identical to the cold sweep; only host time drops.
+ * (sim_cycles here counts reported cycles, including the restored
+ * warmup, so compare wall_ms_per_iter against the cold benchmark,
+ * not the rate.)
+ */
+void
+BM_SnapshotSweepWarm(benchmark::State &state)
+{
+    power::EnergyModel model;
+    auto jobs = makeSnapshotSweepJobs();
+    auto &cache = harness::SnapshotCache::instance();
+    cache.setEnabled(true);
+    cache.clear();
+    // Prime: one untimed cold pass captures the snapshots.
+    harness::runRegions(jobs, model);
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        auto results = harness::runRegions(jobs, model);
+        for (const auto &r : results)
+            sim_cycles += r.cycles;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_cycles),
+        benchmark::Counter::kIsRate);
+    cache.clear();
+    cache.setEnabled(false);
+}
+BENCHMARK(BM_SnapshotSweepWarm)->Unit(benchmark::kMillisecond);
+
 /**
  * Console reporter that additionally collects one JSON record per
  * benchmark and writes the tracked BENCH_sim_speed.json baseline.
@@ -303,6 +379,10 @@ int
 main(int argc, char **argv)
 {
     remap::harness::setExperimentLabel("sim_speed");
+    // The throughput benchmarks measure raw simulation speed; a warm
+    // snapshot cache would let later iterations skip the simulation
+    // being measured. Only BM_SnapshotSweepWarm re-enables it.
+    remap::harness::SnapshotCache::instance().setEnabled(false);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
@@ -313,5 +393,6 @@ main(int argc, char **argv)
                      "failed to write BENCH_sim_speed.json\n");
         return 1;
     }
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "harness/experiment.hh"
 #include "harness/table.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 int
 main()
@@ -52,5 +53,6 @@ main()
               << harness::fmtPct(harness::geomean(degradation) -
                                  1.0)
               << " (paper: more than 180% on average)\n";
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

@@ -12,6 +12,7 @@
 #include "harness/experiment.hh"
 #include "harness/table.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 using namespace remap;
 using workloads::Variant;
@@ -60,5 +61,6 @@ main()
     // (what the SPL accelerates) dominates the iteration.
     compare("ll3", {96, 192, 384, 768});
     compare("dijkstra", {24, 36, 48, 96});
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

@@ -10,6 +10,7 @@
 #include "harness/experiment.hh"
 #include "harness/table.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 int
 main()
@@ -48,5 +49,6 @@ main()
     abs.row({"SPL 24-row leakage (W)",
              harness::fmt(model.splLeakW(24), 3)});
     abs.print(std::cout);
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

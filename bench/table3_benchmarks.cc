@@ -10,6 +10,7 @@
 #include "harness/experiment.hh"
 #include "harness/table.hh"
 #include "harness/manifest.hh"
+#include "harness/snapshot_cache.hh"
 
 int
 main()
@@ -60,5 +61,6 @@ main()
         return 1;
     if (section(Mode::Barrier, "Barrier Synchronization"))
         return 1;
+    remap::harness::printSnapshotCacheSummary();
     return 0;
 }

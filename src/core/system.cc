@@ -406,6 +406,18 @@ System::nextMigrationWake() const
 RunResult
 System::run(Cycle max_cycles)
 {
+    return runInternal(max_cycles, /*warn_on_timeout=*/true);
+}
+
+RunResult
+System::runSegment(Cycle max_cycles)
+{
+    return runInternal(max_cycles, /*warn_on_timeout=*/false);
+}
+
+RunResult
+System::runInternal(Cycle max_cycles, bool warn_on_timeout)
+{
     RunResult result;
     const Cycle start = cycle_;
 
@@ -452,8 +464,10 @@ System::run(Cycle max_cycles)
             break;
         if (cycle_ - start >= max_cycles) {
             result.timedOut = true;
-            REMAP_WARN("run() hit the %llu-cycle limit",
-                       static_cast<unsigned long long>(max_cycles));
+            if (warn_on_timeout)
+                REMAP_WARN("run() hit the %llu-cycle limit",
+                           static_cast<unsigned long long>(
+                               max_cycles));
             break;
         }
 
@@ -545,6 +559,283 @@ System::dumpStatsJson(std::ostream &os)
     w.endObject();
     w.endObject();
     os << '\n';
+}
+
+// ---------------------------------------------------------------- //
+// Snapshot support
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+void
+hashCacheParams(snap::Hasher &h, const mem::CacheParams &p)
+{
+    h.str(p.name);
+    h.u64(p.sizeBytes);
+    h.u32(p.assoc);
+    h.u32(p.lineBytes);
+    h.u64(p.latency);
+}
+
+void
+hashCoreParams(snap::Hasher &h, const cpu::CoreParams &p)
+{
+    h.str(p.name);
+    h.u32(p.fetchWidth);
+    h.u32(p.renameWidth);
+    h.u32(p.issueWidth);
+    h.u32(p.retireWidth);
+    h.u32(p.robEntries);
+    h.u32(p.intQueueEntries);
+    h.u32(p.fpQueueEntries);
+    h.u32(p.loadQueueEntries);
+    h.u32(p.storeQueueEntries);
+    h.u32(p.fetchBufferEntries);
+    h.u32(p.intAlus);
+    h.u32(p.fpAlus);
+    h.u32(p.branchUnits);
+    h.u32(p.ldStUnits);
+    h.u64(p.redirectPenalty);
+    h.u64(p.btbMissPenalty);
+    h.u32(p.bpred.gshareEntries);
+    h.u32(p.bpred.bimodalEntries);
+    h.u32(p.bpred.chooserEntries);
+    h.u32(p.bpred.btbEntries);
+    h.u32(p.bpred.rasEntries);
+    h.u32(p.bpred.historyBits);
+}
+
+void
+hashSplParams(snap::Hasher &h, const spl::SplParams &p)
+{
+    h.u32(p.physRows);
+    h.u32(p.coresPerCluster);
+    h.u32(p.coreCyclesPerSplCycle);
+    h.u32(p.pendingInitsPerCore);
+    h.u32(p.outputQueueWords);
+    h.u32(p.outputTransferSplCycles);
+    h.u32(p.configLoadSplCyclesPerRow);
+    h.u32(p.residentConfigsPerPartition);
+    h.u64(p.barrierBusLatency);
+}
+
+void
+hashFunction(snap::Hasher &h, const spl::SplFunction &fn)
+{
+    h.str(fn.name());
+    h.u32(fn.numInputWords());
+    h.boolean(fn.isReduce());
+    h.u64(fn.outputRegs().size());
+    for (std::uint8_t r : fn.outputRegs())
+        h.u32(r);
+    h.u64(fn.rowProgram().size());
+    for (const spl::Row &row : fn.rowProgram()) {
+        h.u64(row.ops.size());
+        for (const spl::WordOp &op : row.ops) {
+            h.u32(static_cast<std::uint32_t>(op.op));
+            h.u32(op.dst);
+            h.u32(op.a);
+            h.u32(op.b);
+            h.i64(op.imm);
+        }
+    }
+    h.u64(fn.lutTable().size());
+    for (std::int32_t v : fn.lutTable())
+        h.i64(v);
+}
+
+void
+hashProgram(snap::Hasher &h, const isa::Program &prog)
+{
+    h.str(prog.name);
+    h.u64(prog.code.size());
+    for (const isa::Instruction &inst : prog.code) {
+        h.u32(static_cast<std::uint32_t>(inst.op));
+        h.u32(inst.rd);
+        h.u32(inst.rs1);
+        h.u32(inst.rs2);
+        h.i64(inst.imm);
+        h.i64(inst.imm2);
+        h.u32(inst.target);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+System::configHash() const
+{
+    snap::Hasher h;
+    h.u32(snap::formatVersion);
+
+    h.u64(config_.clusters.size());
+    for (const ClusterConfig &c : config_.clusters) {
+        hashCoreParams(h, c.coreType);
+        h.u32(c.numCores);
+        h.boolean(c.hasSpl);
+        hashSplParams(h, c.splParams);
+        h.u32(c.splPartitions);
+        h.boolean(c.fabricIsIdealComm);
+    }
+    hashCacheParams(h, config_.memParams.l1i);
+    hashCacheParams(h, config_.memParams.l1d);
+    hashCacheParams(h, config_.memParams.l2);
+    h.u64(config_.memParams.memLatency);
+    h.u64(config_.memParams.busOccupancy);
+    h.u64(config_.memParams.cacheToCacheLatency);
+    h.f64(config_.clocks.coreFreqHz);
+    h.f64(config_.clocks.splFreqHz);
+    h.u64(config_.migrationSwitchCycles);
+
+    h.u64(configs_.size());
+    for (std::size_t i = 0; i < configs_.size(); ++i)
+        hashFunction(h, configs_.get(static_cast<ConfigId>(i)));
+
+    h.u64(threads_.size());
+    for (const cpu::ThreadContext &t : threads_) {
+        h.u32(t.app);
+        hashProgram(h, *t.program);
+    }
+    return h.value();
+}
+
+void
+System::save(snap::Serializer &s) const
+{
+    s.section("system");
+    s.u64(cycle_);
+    migrationsCompleted.save(s);
+    s.u64(nextFlowId_);
+
+    s.u32(static_cast<std::uint32_t>(threads_.size()));
+    for (const cpu::ThreadContext &t : threads_)
+        t.save(s);
+    for (CoreId c : threadCore_)
+        s.u32(c);
+
+    s.u32(static_cast<std::uint32_t>(cores_.size()));
+    for (const auto &core : cores_) {
+        const cpu::ThreadContext *ctx = core->thread();
+        s.u32(ctx ? ctx->id : invalidThread);
+    }
+    for (const auto &core : cores_)
+        core->save(s);
+
+    image_.save(s);
+    mem_->save(s);
+
+    s.u32(static_cast<std::uint32_t>(fabrics_.size()));
+    for (const auto &fabric : fabrics_)
+        fabric->save(s);
+    barrierUnit_.save(s);
+
+    s.u32(static_cast<std::uint32_t>(migrations_.size()));
+    for (const Migration &m : migrations_) {
+        s.u32(m.tid);
+        s.u32(m.from);
+        s.u32(m.to);
+        s.u64(m.at);
+        s.u8(static_cast<std::uint8_t>(m.state));
+        s.u64(m.resumeAt);
+        s.u64(m.flowId);
+        s.u64(m.drainStart);
+    }
+}
+
+void
+System::restore(snap::Deserializer &d)
+{
+    if (!d.section("system"))
+        return;
+    cycle_ = d.u64();
+    migrationsCompleted.restore(d);
+    nextFlowId_ = d.u64();
+
+    if (d.count() != threads_.size()) {
+        d.fail("thread count mismatch");
+        return;
+    }
+    for (cpu::ThreadContext &t : threads_)
+        t.restore(d);
+    for (CoreId &c : threadCore_)
+        c = d.u32();
+
+    if (d.count() != cores_.size()) {
+        d.fail("core count mismatch");
+        return;
+    }
+    // Re-establish the snapshot's thread-to-core bindings before
+    // restoring per-core pipeline state (threads may have migrated
+    // since the initial placement the factory produced). Unbind every
+    // mismatched core first so no thread is ever bound twice. The
+    // fabrics' thread tables are restored wholesale below, so the
+    // mapThread() path (which also updates them) is bypassed.
+    std::vector<ThreadId> bound(cores_.size(), invalidThread);
+    for (auto &tid : bound)
+        tid = d.u32();
+    if (!d.ok())
+        return;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        cpu::ThreadContext *cur = cores_[c]->thread();
+        if (cur && cur->id != bound[c])
+            cores_[c]->unbindThread();
+    }
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        if (bound[c] == invalidThread)
+            continue;
+        if (bound[c] >= threads_.size()) {
+            d.fail("bound thread id out of range");
+            return;
+        }
+        if (cores_[c]->thread() == nullptr)
+            cores_[c]->bindThread(&threads_[bound[c]]);
+    }
+    for (auto &core : cores_) {
+        core->restore(d);
+        if (!d.ok())
+            return;
+    }
+
+    image_.restore(d);
+    mem_->restore(d);
+    if (!d.ok())
+        return;
+
+    if (d.count() != fabrics_.size()) {
+        d.fail("fabric count mismatch");
+        return;
+    }
+    for (auto &fabric : fabrics_) {
+        fabric->restore(d);
+        if (!d.ok())
+            return;
+    }
+    barrierUnit_.restore(d);
+
+    migrations_.clear();
+    const std::uint32_t n_migrations = d.count(37);
+    for (std::uint32_t i = 0; i < n_migrations && d.ok(); ++i) {
+        Migration m;
+        m.tid = d.u32();
+        m.from = d.u32();
+        m.to = d.u32();
+        m.at = d.u64();
+        const std::uint8_t state = d.u8();
+        if (state >
+            static_cast<std::uint8_t>(Migration::State::Switching)) {
+            d.fail("bad migration state");
+            return;
+        }
+        m.state = static_cast<Migration::State>(state);
+        m.resumeAt = d.u64();
+        m.flowId = d.u64();
+        m.drainStart = d.u64();
+        migrations_.push_back(m);
+    }
+
+    // The activity cache is re-derived at run() entry; nothing else
+    // to fix up here.
 }
 
 } // namespace remap::sys

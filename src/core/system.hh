@@ -131,6 +131,18 @@ class System
      */
     RunResult run(Cycle max_cycles = 2'000'000'000ULL);
 
+    /**
+     * Run for at most @p max_cycles without warning when the limit is
+     * hit (RunResult::timedOut then simply means "segment boundary
+     * reached, work remains"). Segmented execution is cycle- and
+     * statistics-identical to one continuous run(): the loop carries
+     * no state across iterations that is not already part of the
+     * System (the per-core activity cache is re-derived at entry, and
+     * skipped idle cycles are strict no-ops). Snapshot/warm-start
+     * support builds on this.
+     */
+    RunResult runSegment(Cycle max_cycles);
+
     /** Number of cores on the chip. */
     unsigned numCores() const
     {
@@ -215,6 +227,35 @@ class System
     /** The active tracer, or nullptr when tracing is off. */
     trace::Tracer *tracer() { return tracer_.get(); }
 
+    /**
+     * Hash of everything that determines this system's execution up
+     * to any cycle: the snapshot format version, the full
+     * SystemConfig, every registered SPL function and every thread's
+     * program. Two systems with equal configHash() produce
+     * bit-identical runs, so a snapshot is valid for a restore target
+     * iff the hashes match (SnapshotCache keys on this).
+     */
+    std::uint64_t configHash() const;
+
+    /**
+     * Serialize all dynamic state (threads, cores, memory image,
+     * memory hierarchy, fabrics, barrier unit, pending migrations,
+     * current cycle). Structure is NOT serialized: the restore target
+     * must be built from the same config/workload factory (verified
+     * via configHash()).
+     */
+    void save(snap::Serializer &s) const;
+
+    /**
+     * Restore state saved by save() into a structurally identical,
+     * drained system (freshly constructed by the same factory).
+     * Thread-to-core bindings are re-established to match the
+     * snapshot before per-core state is restored. On any failure the
+     * deserializer's fail flag is set and the system must be
+     * discarded (state may be partially applied).
+     */
+    void restore(snap::Deserializer &d);
+
   private:
     SystemConfig config_;
     mem::MemoryImage image_;
@@ -275,6 +316,8 @@ class System
 
     /** Register the sampled counters for the periodic sampler. */
     void registerSamplers();
+
+    RunResult runInternal(Cycle max_cycles, bool warn_on_timeout);
 
     std::unique_ptr<trace::Tracer> tracer_;
     trace::CounterSampler sampler_;

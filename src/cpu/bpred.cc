@@ -64,4 +64,60 @@ BranchPredictor::update(std::uint64_t pc, bool taken,
     }
 }
 
+namespace
+{
+
+void
+saveTable(snap::Serializer &s, const std::vector<std::uint8_t> &t)
+{
+    s.u32(static_cast<std::uint32_t>(t.size()));
+    s.bytes(t.data(), t.size());
+}
+
+bool
+restoreTable(snap::Deserializer &d, std::vector<std::uint8_t> &t)
+{
+    if (d.count() != t.size()) {
+        d.fail("predictor table size mismatch");
+        return false;
+    }
+    return d.bytes(t.data(), t.size());
+}
+
+} // namespace
+
+void
+BranchPredictor::save(snap::Serializer &s) const
+{
+    s.section("bpred");
+    saveTable(s, gshare_);
+    saveTable(s, bimodal_);
+    saveTable(s, chooser_);
+    s.u32(static_cast<std::uint32_t>(btb_.size()));
+    for (const BtbEntry &e : btb_) {
+        s.u64(e.pc);
+        s.u64(e.target);
+    }
+    s.u64(history_);
+}
+
+void
+BranchPredictor::restore(snap::Deserializer &d)
+{
+    if (!d.section("bpred"))
+        return;
+    if (!restoreTable(d, gshare_) || !restoreTable(d, bimodal_) ||
+        !restoreTable(d, chooser_))
+        return;
+    if (d.count(16) != btb_.size()) {
+        d.fail("btb size mismatch");
+        return;
+    }
+    for (BtbEntry &e : btb_) {
+        e.pc = d.u64();
+        e.target = d.u64();
+    }
+    history_ = d.u64();
+}
+
 } // namespace remap::cpu

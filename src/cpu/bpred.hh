@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -47,6 +48,13 @@ class BranchPredictor
     StatCounter mispredicts;
     StatCounter btbMisses;
     /** @} */
+
+    /** Serialize predictor tables and history (snapshot support).
+     *  The stat counters are registered in the owning core's
+     *  StatGroup and serialized there. */
+    void save(snap::Serializer &s) const;
+    /** Restore state saved by save(); table geometry must match. */
+    void restore(snap::Deserializer &d);
 
   private:
     static bool counterTaken(std::uint8_t c) { return c >= 2; }

@@ -922,4 +922,143 @@ OooCore::resetStats()
     statGroup_.reset();
 }
 
+void
+OooCore::save(snap::Serializer &s) const
+{
+    s.section("core");
+    s.u32(id_);
+    s.boolean(ctx_ != nullptr);
+
+    // DynInst::si points into the bound program's code; serialize it
+    // as an instruction index so restore can re-resolve the pointer.
+    auto save_inst = [&](const DynInst &d) {
+        std::uint32_t si_idx = ~std::uint32_t{0};
+        if (d.si) {
+            si_idx = static_cast<std::uint32_t>(
+                d.si - ctx_->program->code.data());
+        }
+        s.u32(si_idx);
+        s.u64(d.seq);
+        s.u64(d.pcAddr);
+        s.u8(static_cast<std::uint8_t>(d.stage));
+        s.u64(d.fbReady);
+        s.u64(d.completeCycle);
+        s.u64(d.dep1);
+        s.u64(d.dep2);
+        s.u64(d.memAddr);
+        s.u32(d.memLen);
+        s.i64(d.storeValue);
+        s.i32(d.splValue);
+        s.i64(d.splLoadValue);
+        s.boolean(d.mispredicted);
+        s.boolean(d.usesFpQueue);
+    };
+    s.u32(static_cast<std::uint32_t>(fb_.size()));
+    for (const DynInst &d : fb_)
+        save_inst(d);
+    s.u32(static_cast<std::uint32_t>(rob_.size()));
+    for (const DynInst &d : rob_)
+        save_inst(d);
+
+    s.u64(nextSeq_);
+    for (std::uint64_t p : intProducer_)
+        s.u64(p);
+    for (std::uint64_t p : fpProducer_)
+        s.u64(p);
+    s.u32(intQueueOcc_);
+    s.u32(fpQueueOcc_);
+    s.u32(loadQueueOcc_);
+    s.u32(storeQueueOcc_);
+    s.u64(fetchResumeCycle_);
+    s.u64(fetchBlockedOnSeq_);
+    s.boolean(fetchHalted_);
+    s.boolean(draining_);
+    s.u64(divBusyUntil_);
+    s.u64(fpDivBusyUntil_);
+    s.u64(storeBufferDrainCycle_);
+
+    bpred_.save(s);
+    statGroup_.save(s);
+}
+
+void
+OooCore::restore(snap::Deserializer &d)
+{
+    if (!d.section("core"))
+        return;
+    if (d.u32() != id_) {
+        d.fail("core id mismatch");
+        return;
+    }
+    const bool had_thread = d.boolean();
+    if (had_thread != (ctx_ != nullptr)) {
+        d.fail("thread binding mismatch");
+        return;
+    }
+
+    auto restore_insts = [&](std::deque<DynInst> &q,
+                             std::size_t elem_bytes) {
+        q.clear();
+        const std::uint32_t n = d.count(elem_bytes);
+        for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+            DynInst di;
+            const std::uint32_t si_idx = d.u32();
+            if (si_idx != ~std::uint32_t{0}) {
+                if (!ctx_ || si_idx >= ctx_->program->code.size()) {
+                    d.fail("instruction index out of range");
+                    return;
+                }
+                di.si = &ctx_->program->code[si_idx];
+            }
+            di.seq = d.u64();
+            di.pcAddr = d.u64();
+            const std::uint8_t stage = d.u8();
+            if (stage > static_cast<std::uint8_t>(Stage::Completed)) {
+                d.fail("bad pipeline stage");
+                return;
+            }
+            di.stage = static_cast<Stage>(stage);
+            di.fbReady = d.u64();
+            di.completeCycle = d.u64();
+            di.dep1 = d.u64();
+            di.dep2 = d.u64();
+            di.memAddr = d.u64();
+            di.memLen = d.u32();
+            di.storeValue = d.i64();
+            di.splValue = d.i32();
+            di.splLoadValue = d.i64();
+            di.mispredicted = d.boolean();
+            di.usesFpQueue = d.boolean();
+            q.push_back(di);
+        }
+    };
+    // 87 = serialized DynInst size (fixed-width fields above).
+    restore_insts(fb_, 87);
+    if (!d.ok())
+        return;
+    restore_insts(rob_, 87);
+    if (!d.ok())
+        return;
+
+    nextSeq_ = d.u64();
+    for (std::uint64_t &p : intProducer_)
+        p = d.u64();
+    for (std::uint64_t &p : fpProducer_)
+        p = d.u64();
+    intQueueOcc_ = d.u32();
+    fpQueueOcc_ = d.u32();
+    loadQueueOcc_ = d.u32();
+    storeQueueOcc_ = d.u32();
+    fetchResumeCycle_ = d.u64();
+    fetchBlockedOnSeq_ = d.u64();
+    fetchHalted_ = d.boolean();
+    draining_ = d.boolean();
+    divBusyUntil_ = d.u64();
+    fpDivBusyUntil_ = d.u64();
+    storeBufferDrainCycle_ = d.u64();
+
+    bpred_.restore(d);
+    statGroup_.restore(d);
+}
+
 } // namespace remap::cpu

@@ -170,6 +170,19 @@ class OooCore
      */
     void setTracer(trace::Tracer *t, std::uint32_t tid);
 
+    /**
+     * Serialize the pipeline: fetch buffer and ROB (DynInst::si is
+     * written as an index into the bound thread's program), sequence
+     * and producer state, queue occupancies, fetch/drain flags, unit
+     * busy cycles, the branch predictor and the stat group. The bound
+     * thread's ThreadContext is serialized by the System (threads
+     * first), not here.
+     */
+    void save(snap::Serializer &s) const;
+    /** Restore into a core whose thread binding already matches the
+     *  snapshot (System rebinds before calling this). */
+    void restore(snap::Deserializer &d);
+
   private:
     enum class Stage : std::uint8_t
     {

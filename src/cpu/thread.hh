@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "isa/isa.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace remap::cpu
@@ -55,6 +56,42 @@ struct ThreadContext
         halted = false;
         intRegs.fill(0);
         fpRegs.fill(0.0);
+    }
+
+    /** Serialize dynamic state; id/app/program are structural and
+     *  only written for verification. */
+    void
+    save(snap::Serializer &s) const
+    {
+        s.section("thread");
+        s.u32(id);
+        s.u32(app);
+        s.u32(pc);
+        s.boolean(halted);
+        for (std::int64_t r : intRegs)
+            s.i64(r);
+        for (double r : fpRegs)
+            s.f64(r);
+    }
+
+    /** Restore state saved by save() into a structurally identical
+     *  thread (same id; program pointer is left untouched). */
+    void
+    restore(snap::Deserializer &d)
+    {
+        if (!d.section("thread"))
+            return;
+        if (d.u32() != id) {
+            d.fail("thread id mismatch");
+            return;
+        }
+        app = d.u32();
+        pc = d.u32();
+        halted = d.boolean();
+        for (auto &r : intRegs)
+            r = d.i64();
+        for (auto &r : fpRegs)
+            r = d.f64();
     }
 };
 

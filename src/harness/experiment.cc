@@ -1,9 +1,12 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "harness/parallel.hh"
+#include "harness/snapshot_cache.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace remap::harness
 {
@@ -12,21 +15,107 @@ using workloads::Mode;
 using workloads::RunSpec;
 using workloads::Variant;
 
+namespace
+{
+
+/**
+ * Drive @p run to completion through the snapshot cache: restore the
+ * warmest cached state for this (workload, spec, config-hash) key if
+ * one exists, then simulate in segments, capturing a snapshot at
+ * geometrically-doubling cycle boundaries (W, 2W, 4W, ...) so later
+ * runs of the same key start even warmer. Segmented execution is
+ * cycle- and statistics-identical to PreparedRun::run() (see
+ * System::runSegment), so this only changes simulation wall-clock,
+ * never results. Fills cycles/configHash/warmStarted/snapshotBoundary
+ * of @p res.
+ */
+void
+runThroughSnapshotCache(const workloads::WorkloadInfo &info,
+                        const RunSpec &spec,
+                        workloads::PreparedRun &run, RegionResult &res)
+{
+    // Must match the PreparedRun::run() default so the timeout
+    // behaviour (and its fatal message) is unchanged.
+    constexpr Cycle max_cycles = 400'000'000ULL;
+
+    SnapshotCache &cache = SnapshotCache::instance();
+    const std::uint64_t hash = run.system->configHash();
+    const std::string key =
+        SnapshotCache::makeKey(info.name, spec, hash);
+    res.configHash = hash;
+
+    Cycle elapsed = 0;
+    Cycle boundary = cache.firstBoundary();
+
+    Cycle stored = 0;
+    if (SnapshotCache::Blob blob = cache.lookup(key, hash, &stored)) {
+        snap::Deserializer d(*blob);
+        snap::Header hdr;
+        if (snap::readHeader(d, &hdr) && hdr.configHash == hash) {
+            run.system->restore(d);
+        } else {
+            d.fail("header mismatch");
+        }
+        if (d.ok()) {
+            elapsed = hdr.boundaryCycle;
+            boundary = hdr.boundaryCycle * 2;
+            res.warmStarted = true;
+            res.snapshotBoundary = hdr.boundaryCycle;
+        } else {
+            // A bad blob may have been partially applied; the system
+            // is unusable, so rebuild it from scratch and run cold.
+            REMAP_WARN("snapshot restore failed for '%s' (%s); "
+                       "running cold",
+                       key.c_str(), d.error());
+            cache.reject(key);
+            run = info.make(spec);
+        }
+    }
+
+    for (;;) {
+        const Cycle target = std::min(boundary, max_cycles);
+        sys::RunResult seg =
+            run.system->runSegment(target - elapsed);
+        elapsed += seg.cycles;
+        if (!seg.timedOut)
+            break;
+        if (elapsed >= max_cycles)
+            REMAP_FATAL("workload '%s' did not quiesce in %llu cycles",
+                        run.name.c_str(),
+                        static_cast<unsigned long long>(max_cycles));
+        snap::Serializer s;
+        snap::writeHeader(s, hash, elapsed);
+        run.system->save(s);
+        cache.store(key, hash, elapsed, s.take());
+        boundary *= 2;
+    }
+    res.cycles = elapsed;
+}
+
+} // namespace
+
 RegionResult
 runRegion(const workloads::WorkloadInfo &info, const RunSpec &spec,
           const power::EnergyModel &model)
 {
     workloads::PreparedRun run = info.make(spec);
-    sys::RunResult rr = run.run();
+    RegionResult res;
+    SnapshotCache &cache = SnapshotCache::instance();
+    // Warm-starting a traced run would drop every pre-boundary trace
+    // event, so tracing bypasses the cache entirely.
+    if (cache.enabled() && cache.firstBoundary() > 0 &&
+        !run.system->tracer()) {
+        runThroughSnapshotCache(info, spec, run, res);
+    } else {
+        res.cycles = run.run().cycles;
+    }
     if (run.verify && !run.verify())
         REMAP_FATAL("workload '%s' (%s) failed golden verification",
                     info.name.c_str(),
                     workloads::variantName(spec.variant));
-    RegionResult res;
-    res.cycles = rr.cycles;
     const unsigned copies = std::max(1u, spec.copies);
     res.energyJ =
-        run.system->measureEnergy(model, rr.cycles,
+        run.system->measureEnergy(model, res.cycles,
                                   /*include_idle_cores=*/false)
             .totalJ() /
         copies;

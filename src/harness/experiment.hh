@@ -7,6 +7,7 @@
 #ifndef REMAP_HARNESS_EXPERIMENT_HH
 #define REMAP_HARNESS_EXPERIMENT_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -23,6 +24,16 @@ struct RegionResult
     Cycle cycles = 0;     ///< wall-clock core cycles of the run
     double energyJ = 0.0; ///< energy per program copy (J)
     double work = 1.0;    ///< work units completed (per copy)
+
+    /** System::configHash() of the simulated run (0 when the
+     *  snapshot cache was bypassed, e.g. while tracing). */
+    std::uint64_t configHash = 0;
+    /** True when the run resumed from a cached snapshot instead of
+     *  simulating from cycle 0. Results are bit-identical either
+     *  way; this records provenance for manifests/logs. */
+    bool warmStarted = false;
+    /** Boundary cycle the run restored from (0 = cold). */
+    Cycle snapshotBoundary = 0;
 
     /** Cycles per work unit (Fig. 12's y-axis). */
     double

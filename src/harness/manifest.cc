@@ -1,12 +1,14 @@
 #include "harness/manifest.hh"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <thread>
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace remap::harness
 {
@@ -19,6 +21,16 @@ labelStorage()
 {
     static std::string label = "run";
     return label;
+}
+
+/** 16-digit hex rendering of a 64-bit hash (stable across hosts). */
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
 }
 
 } // namespace
@@ -82,8 +94,10 @@ writeRunManifest(const std::vector<RegionJob> &jobs,
     w.kv("pool_workers", pool_workers);
     w.endObject();
     // Workload inputs are synthetic and fully deterministic; the
-    // RunSpec below is the complete reproduction recipe for a job.
+    // RunSpec below (plus the fixed RNG seed all input synthesis
+    // uses) is the complete reproduction recipe for a job.
     w.kv("deterministic_inputs", true);
+    w.kv("rng_seed", hex64(Rng::defaultSeed));
     w.key("jobs");
     w.beginArray();
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -105,6 +119,13 @@ writeRunManifest(const std::vector<RegionJob> &jobs,
             w.kv("energy_j", results[i].energyJ);
             w.kv("work_units", results[i].work);
             w.kv("cycles_per_unit", results[i].cyclesPerUnit());
+            // Snapshot provenance: which simulated configuration the
+            // run hashed to, and whether it warm-started from a
+            // cached snapshot (bit-identical either way).
+            if (results[i].configHash != 0)
+                w.kv("config_hash", hex64(results[i].configHash));
+            w.kv("warm_started", results[i].warmStarted);
+            w.kv("snapshot_boundary", results[i].snapshotBoundary);
             w.endObject();
         }
         if (i < timings.size()) {

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * SnapshotCache — warm-start snapshot store for region sweeps.
+ *
+ * Sweep drivers (figs. 8-14) run the same (workload, spec) simulation
+ * many times: every barrierSweep() series re-simulates the per-size
+ * Seq baseline, and variant sets share baselines across figures. The
+ * cache exploits that: the first (cold) run of a key snapshots the
+ * full System state at geometrically-doubling cycle boundaries
+ * (W, 2W, 4W, ...); later runs of the same key restore the largest
+ * stored boundary and resume from there, skipping at least half of
+ * any sufficiently long run. System::runSegment() is cycle- and
+ * statistics-identical to a continuous run, and restore is verified
+ * bit-identical by tests/test_snapshot_diff.cc, so warm-started
+ * results equal cold results exactly — this is purely a simulation
+ * speedup.
+ *
+ * Keys are workload name + the full RunSpec + System::configHash()
+ * (which covers every warmup-relevant parameter: core/mem/SPL
+ * configuration, registered SPL functions and thread programs), so a
+ * stale snapshot can never be applied to a changed simulation.
+ *
+ * Environment knobs:
+ *  - REMAP_CKPT=<dir>     persist snapshots to disk (atomic rename;
+ *                         corrupt/stale files are ignored with a
+ *                         warning, never trusted);
+ *  - REMAP_CKPT_WARMUP=N  first snapshot boundary in cycles
+ *                         (default 16384; 0 disables warm-start);
+ *  - REMAP_CKPT_MEM=MB    in-memory cache cap (default 256 MB).
+ *
+ * Thread-safe: lookups/stores take an internal mutex, concurrent
+ * stores to one key keep the largest boundary (single-writer-per-key
+ * effect), and disk writes go through a temp file + std::rename.
+ */
+
+#ifndef REMAP_HARNESS_SNAPSHOT_CACHE_HH
+#define REMAP_HARNESS_SNAPSHOT_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+#include "workloads/workload.hh"
+
+namespace remap::harness
+{
+
+/** Process-wide store of warmed simulator state, keyed per run. */
+class SnapshotCache
+{
+  public:
+    /** A complete snapshot blob (container header + payload). */
+    using Blob = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+    /** Hit/miss and size accounting (monotonic over the process). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;      ///< lookups served (memory/disk)
+        std::uint64_t misses = 0;    ///< lookups with nothing stored
+        std::uint64_t stores = 0;    ///< snapshots captured
+        std::uint64_t diskLoads = 0; ///< hits satisfied from REMAP_CKPT
+        std::uint64_t rejected = 0;  ///< corrupt/stale blobs discarded
+        std::uint64_t evictions = 0; ///< entries dropped by the cap
+        std::size_t bytes = 0;       ///< resident in-memory bytes
+        std::size_t entries = 0;     ///< resident in-memory entries
+    };
+
+    /** The process-wide instance (reads the environment once). */
+    static SnapshotCache &instance();
+
+    /** Globally enable/disable the cache (tests and cold baselines).
+     *  Disabled means lookup() always misses and store() drops. */
+    void setEnabled(bool on);
+    bool enabled() const;
+
+    /** First snapshot boundary in cycles; later boundaries double.
+     *  0 disables warm-start entirely. */
+    void setFirstBoundary(Cycle cycles);
+    Cycle firstBoundary() const;
+
+    /** Cap on resident in-memory snapshot bytes (LRU eviction). */
+    void setMemoryCapBytes(std::size_t cap);
+
+    /** Point on-disk persistence at @p dir (created if absent;
+     *  empty string turns persistence off). Normally set once from
+     *  REMAP_CKPT; exposed for tests and embedding programs. */
+    void setDiskDir(const std::string &dir);
+
+    /** Drop every in-memory entry (disk files are untouched). */
+    void clear();
+
+    /** Cache key for one region run. Embeds the config-hash, so any
+     *  change to the simulated configuration is a different key. */
+    static std::string makeKey(const std::string &workload,
+                               const workloads::RunSpec &spec,
+                               std::uint64_t config_hash);
+
+    /**
+     * Fetch the largest-boundary snapshot stored for @p key, checking
+     * memory first, then REMAP_CKPT. Disk blobs are validated
+     * (magic, format version, @p config_hash) before being returned;
+     * failures count as misses. @p boundary_out receives the
+     * snapshot's boundary cycle on a hit.
+     */
+    Blob lookup(const std::string &key, std::uint64_t config_hash,
+                Cycle *boundary_out);
+
+    /**
+     * Record a snapshot of @p key taken at @p boundary. A smaller or
+     * equal boundary already stored for the key wins nothing and is
+     * kept (concurrent writers race benignly: the largest boundary
+     * survives). The blob must start with a snap::writeHeader()
+     * container header.
+     */
+    void store(const std::string &key, std::uint64_t config_hash,
+               Cycle boundary, std::vector<std::uint8_t> blob);
+
+    /** Mark a looked-up blob as unusable (restore failed): drops the
+     *  in-memory entry and counts a rejection, so a corrupt disk file
+     *  cannot be handed out twice. */
+    void reject(const std::string &key);
+
+    /** Current accounting. */
+    Stats stats() const;
+
+    /** One-line human-readable summary ("3 hits, 2 misses, ..."). */
+    std::string summary() const;
+
+  private:
+    SnapshotCache();
+
+    struct Entry
+    {
+        Cycle boundary = 0;
+        Blob blob;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Evict least-recently-used entries until under the cap.
+     *  Caller holds mu_. */
+    void evictLocked();
+    /** Disk path for @p key (empty when persistence is off). */
+    std::string diskPath(const std::string &key) const;
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, Entry> entries_;
+    std::size_t bytes_ = 0;
+    std::size_t capBytes_;
+    std::uint64_t useClock_ = 0;
+    bool enabled_ = true;
+    Cycle firstBoundary_;
+    std::string diskDir_; ///< empty = no on-disk persistence
+    Stats stats_;
+};
+
+/** Print the cache summary via REMAP_INFORM when the cache saw any
+ *  traffic this process (drivers call this before exiting). */
+void printSnapshotCacheSummary();
+
+} // namespace remap::harness
+
+#endif // REMAP_HARNESS_SNAPSHOT_CACHE_HH

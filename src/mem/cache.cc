@@ -145,4 +145,69 @@ Cache::residentLines() const
     return n;
 }
 
+void
+Cache::save(snap::Serializer &s) const
+{
+    s.section("cache");
+    s.str(params_.name);
+    s.u32(static_cast<std::uint32_t>(lines_.size()));
+    // The way a line occupies matters (allocate() prefers the first
+    // invalid way and breaks LRU ties by way order), so each valid
+    // line is written with its position in the tag store.
+    s.u32(static_cast<std::uint32_t>(residentLines()));
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const Line &line = lines_[i];
+        if (line.state == Mesi::Invalid)
+            continue;
+        s.u32(static_cast<std::uint32_t>(i));
+        s.u64(line.tag);
+        s.u8(static_cast<std::uint8_t>(line.state));
+        s.u64(line.lruStamp);
+    }
+    s.u64(lruClock_);
+    statGroup_.save(s);
+}
+
+void
+Cache::restore(snap::Deserializer &d)
+{
+    if (!d.section("cache"))
+        return;
+    if (d.str() != params_.name) {
+        d.fail("cache name mismatch");
+        return;
+    }
+    // Geometry cross-check against a value the reader already knows;
+    // plain u32(), not count() — only *resident* lines follow in the
+    // stream, so a sparsely-filled large cache would trip count()'s
+    // bytes-remaining plausibility guard.
+    if (d.u32() != lines_.size()) {
+        d.fail("cache geometry mismatch");
+        return;
+    }
+    const std::uint32_t resident = d.count(21);
+    // Invalid ways never influence behaviour (lookup/allocate check
+    // state first), so resetting them keeps restored state canonical.
+    for (auto &line : lines_)
+        line = Line{};
+    for (std::uint32_t i = 0; i < resident && d.ok(); ++i) {
+        const std::uint32_t idx = d.u32();
+        if (idx >= lines_.size()) {
+            d.fail("cache line index out of range");
+            return;
+        }
+        Line &line = lines_[idx];
+        line.tag = d.u64();
+        const std::uint8_t state = d.u8();
+        if (state > static_cast<std::uint8_t>(Mesi::Modified)) {
+            d.fail("bad MESI state");
+            return;
+        }
+        line.state = static_cast<Mesi>(state);
+        line.lruStamp = d.u64();
+    }
+    lruClock_ = d.u64();
+    statGroup_.restore(d);
+}
+
 } // namespace remap::mem

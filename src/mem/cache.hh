@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -96,6 +97,15 @@ class Cache
 
     /** Stats group for reporting. */
     StatGroup &stats() { return statGroup_; }
+
+    /** Serialize valid lines (sparse), the LRU clock and the stats.
+     *  Canonical: invalid lines are not written, so two caches with
+     *  identical resident contents serialize identically regardless
+     *  of stale bookkeeping left in invalid ways. */
+    void save(snap::Serializer &s) const;
+    /** Restore into a cache of identical geometry; invalid lines are
+     *  reset to the default-constructed state. */
+    void restore(snap::Deserializer &d);
 
     /** @{ @name Access statistics, maintained by the MemSystem. */
     StatCounter hits;

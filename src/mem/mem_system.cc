@@ -228,4 +228,36 @@ MemSystem::resetStats()
     }
 }
 
+void
+MemSystem::save(snap::Serializer &s) const
+{
+    s.section("memsys");
+    s.u32(static_cast<std::uint32_t>(l2_.size()));
+    s.u64(busBusyUntil_);
+    statGroup_.save(s);
+    for (unsigned c = 0; c < l2_.size(); ++c) {
+        l1i_[c]->save(s);
+        l1d_[c]->save(s);
+        l2_[c]->save(s);
+    }
+}
+
+void
+MemSystem::restore(snap::Deserializer &d)
+{
+    if (!d.section("memsys"))
+        return;
+    if (d.u32() != l2_.size()) {
+        d.fail("core count mismatch");
+        return;
+    }
+    busBusyUntil_ = d.u64();
+    statGroup_.restore(d);
+    for (unsigned c = 0; c < l2_.size() && d.ok(); ++c) {
+        l1i_[c]->restore(d);
+        l1d_[c]->restore(d);
+        l2_[c]->restore(d);
+    }
+}
+
 } // namespace remap::mem

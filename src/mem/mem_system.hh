@@ -105,6 +105,11 @@ class MemSystem
     /** Reset all statistics (start of a measured region). */
     void resetStats();
 
+    /** Serialize bus state, global counters and every cache. */
+    void save(snap::Serializer &s) const;
+    /** Restore into a hierarchy of identical geometry. */
+    void restore(snap::Deserializer &d);
+
   private:
     /**
      * Obtain the line in @p core's L2 in a state sufficient for

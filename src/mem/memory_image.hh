@@ -13,12 +13,14 @@
 #ifndef REMAP_MEM_MEMORY_IMAGE_HH
 #define REMAP_MEM_MEMORY_IMAGE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace remap::mem
@@ -89,6 +91,45 @@ class MemoryImage
 
     /** Zero-fill and drop all pages. */
     void clear() { pages_.clear(); }
+
+    /** Serialize allocated pages in sorted page order (canonical:
+     *  the byte stream depends only on memory contents, not on the
+     *  hash map's iteration order). */
+    void
+    save(snap::Serializer &s) const
+    {
+        s.section("image");
+        std::vector<Addr> page_nums;
+        page_nums.reserve(pages_.size());
+        for (const auto &[num, page] : pages_)
+            page_nums.push_back(num);
+        std::sort(page_nums.begin(), page_nums.end());
+        s.u32(static_cast<std::uint32_t>(page_nums.size()));
+        for (Addr num : page_nums) {
+            s.u64(num);
+            s.bytes(pages_.at(num)->data(), pageSize);
+        }
+    }
+
+    /** Replace all contents with the pages saved by save(). */
+    void
+    restore(snap::Deserializer &d)
+    {
+        if (!d.section("image"))
+            return;
+        const std::uint32_t n = d.count(8 + pageSize);
+        std::unordered_map<
+            Addr, std::unique_ptr<std::vector<std::uint8_t>>> pages;
+        for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+            const Addr num = d.u64();
+            auto page = std::make_unique<std::vector<std::uint8_t>>(
+                pageSize, 0);
+            d.bytes(page->data(), pageSize);
+            pages.emplace(num, std::move(page));
+        }
+        if (d.ok())
+            pages_ = std::move(pages);
+    }
 
   private:
     std::uint8_t

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "sim/snapshot.hh"
+
 namespace remap
 {
 
@@ -17,8 +19,13 @@ namespace remap
 class Rng
 {
   public:
+    /** Seed every fixed-input experiment uses (recorded in run
+     *  manifests so results are attributable to their inputs). */
+    static constexpr std::uint64_t defaultSeed =
+        0x9e3779b97f4a7c15ULL;
+
     /** Seed via splitmix64 expansion of @p seed. */
-    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    explicit Rng(std::uint64_t seed = defaultSeed)
     {
         std::uint64_t x = seed;
         for (auto &word : state_) {
@@ -65,6 +72,24 @@ class Rng
     uniform()
     {
         return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Serialize generator state (snapshot support). */
+    void
+    save(snap::Serializer &s) const
+    {
+        s.section("rng");
+        for (std::uint64_t word : state_)
+            s.u64(word);
+    }
+
+    /** Restore generator state saved by save(). */
+    void
+    restore(snap::Deserializer &d)
+    {
+        d.section("rng");
+        for (auto &word : state_)
+            word = d.u64();
     }
 
   private:

@@ -36,4 +36,54 @@ StatGroup::reset()
         avg->reset();
 }
 
+void
+StatGroup::save(snap::Serializer &s) const
+{
+    s.section("statgroup");
+    s.str(name_);
+    s.u32(static_cast<std::uint32_t>(counters_.size()));
+    for (const auto &[stat_name, counter] : counters_) {
+        s.str(stat_name);
+        counter->save(s);
+    }
+    s.u32(static_cast<std::uint32_t>(averages_.size()));
+    for (const auto &[stat_name, avg] : averages_) {
+        s.str(stat_name);
+        avg->save(s);
+    }
+}
+
+void
+StatGroup::restore(snap::Deserializer &d)
+{
+    if (!d.section("statgroup"))
+        return;
+    if (d.str() != name_) {
+        d.fail("stat group name mismatch");
+        return;
+    }
+    if (d.count() != counters_.size()) {
+        d.fail("stat counter set mismatch");
+        return;
+    }
+    for (auto &[stat_name, counter] : counters_) {
+        if (d.str() != stat_name) {
+            d.fail("stat counter name mismatch");
+            return;
+        }
+        counter->restore(d);
+    }
+    if (d.count() != averages_.size()) {
+        d.fail("stat average set mismatch");
+        return;
+    }
+    for (auto &[stat_name, avg] : averages_) {
+        if (d.str() != stat_name) {
+            d.fail("stat average name mismatch");
+            return;
+        }
+        avg->restore(d);
+    }
+}
+
 } // namespace remap

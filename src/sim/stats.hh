@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace remap
 {
@@ -43,6 +44,11 @@ class StatCounter
 
     /** Reset to zero (used between measurement regions). */
     void reset() { value_ = 0; }
+
+    /** Serialize (snapshot support). */
+    void save(snap::Serializer &s) const { s.u64(value_); }
+    /** Restore a value saved by save(). */
+    void restore(snap::Deserializer &d) { value_ = d.u64(); }
 
   private:
     std::uint64_t value_ = 0;
@@ -73,6 +79,22 @@ class StatAverage
     {
         sum_ = 0.0;
         count_ = 0;
+    }
+
+    /** Serialize (snapshot support). */
+    void
+    save(snap::Serializer &s) const
+    {
+        s.f64(sum_);
+        s.u64(count_);
+    }
+
+    /** Restore a value saved by save(). */
+    void
+    restore(snap::Deserializer &d)
+    {
+        sum_ = d.f64();
+        count_ = d.u64();
     }
 
   private:
@@ -168,6 +190,19 @@ class StatGroup
 
     /** Reset every registered stat. */
     void reset();
+
+    /**
+     * Serialize every registered counter and average, keyed by stat
+     * name (std::map order, so the byte stream is deterministic).
+     */
+    void save(snap::Serializer &s) const;
+
+    /**
+     * Restore stats saved by save(). The registered stat set must
+     * match the saved one (same names, same counts) — a mismatch
+     * marks @p d failed, it never partially applies.
+     */
+    void restore(snap::Deserializer &d);
 
     /** Access registered counters (for programmatic queries). */
     const std::map<std::string, StatCounter *> &

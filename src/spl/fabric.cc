@@ -748,4 +748,281 @@ SplFabric::tick(Cycle now)
         acceptPending(part, now);
 }
 
+// ---------------------------------------------------------------- //
+// Snapshot support
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+void
+saveWords(snap::Serializer &s, const std::vector<std::int32_t> &v)
+{
+    s.u32(static_cast<std::uint32_t>(v.size()));
+    for (std::int32_t w : v)
+        s.i32(w);
+}
+
+std::vector<std::int32_t>
+restoreWords(snap::Deserializer &d)
+{
+    std::vector<std::int32_t> v(d.count(4));
+    for (auto &w : v)
+        w = d.i32();
+    return v;
+}
+
+} // namespace
+
+void
+ThreadToCoreTable::save(snap::Serializer &s) const
+{
+    s.section("tct");
+    s.u32(static_cast<std::uint32_t>(entries_.size()));
+    for (const Entry &e : entries_) {
+        s.boolean(e.valid);
+        s.u32(e.thread);
+        s.u32(e.app);
+        s.u32(e.inFlight);
+    }
+}
+
+void
+ThreadToCoreTable::restore(snap::Deserializer &d)
+{
+    if (!d.section("tct"))
+        return;
+    if (d.count(13) != entries_.size()) {
+        d.fail("thread table size mismatch");
+        return;
+    }
+    for (Entry &e : entries_) {
+        e.valid = d.boolean();
+        e.thread = d.u32();
+        e.app = d.u32();
+        e.inFlight = d.u32();
+    }
+}
+
+void
+BarrierUnit::save(snap::Serializer &s) const
+{
+    s.section("barrierunit");
+    barriersCompleted.save(s);
+    busUpdates.save(s);
+    s.u64(pending_);
+    // Canonical order: instances sorted by barrier id (the maps are
+    // unordered, and iteration order must not leak into the stream).
+    for (const auto *map : {&barriers_, &funcBarriers_}) {
+        std::vector<std::uint32_t> ids;
+        ids.reserve(map->size());
+        for (const auto &[id, b] : *map)
+            ids.push_back(id);
+        std::sort(ids.begin(), ids.end());
+        s.u32(static_cast<std::uint32_t>(ids.size()));
+        for (std::uint32_t id : ids) {
+            const BarrierState &b = map->at(id);
+            s.u32(id);
+            s.u32(b.total);
+            s.u64(b.firstArrival);
+            s.u32(static_cast<std::uint32_t>(b.arrivals.size()));
+            for (const Arrival &a : b.arrivals) {
+                s.u32(a.thread);
+                s.u32(a.cluster);
+                s.u32(a.localCore);
+                s.u64(a.cycle);
+                saveWords(s, a.inputs);
+            }
+        }
+    }
+}
+
+void
+BarrierUnit::restore(snap::Deserializer &d)
+{
+    if (!d.section("barrierunit"))
+        return;
+    barriersCompleted.restore(d);
+    busUpdates.restore(d);
+    pending_ = d.u64();
+    for (auto *map : {&barriers_, &funcBarriers_}) {
+        map->clear();
+        const std::uint32_t n = d.count(16);
+        for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+            const std::uint32_t id = d.u32();
+            BarrierState &b = (*map)[id];
+            b.total = d.u32();
+            b.firstArrival = d.u64();
+            const std::uint32_t arrivals = d.count(24);
+            for (std::uint32_t j = 0; j < arrivals && d.ok(); ++j) {
+                Arrival a;
+                a.thread = d.u32();
+                a.cluster = d.u32();
+                a.localCore = d.u32();
+                a.cycle = d.u64();
+                a.inputs = restoreWords(d);
+                b.arrivals.push_back(std::move(a));
+            }
+        }
+    }
+}
+
+void
+SplFabric::save(snap::Serializer &s) const
+{
+    s.section("fabric");
+    s.u32(cluster_);
+    threadTable_.save(s);
+
+    s.u32(static_cast<std::uint32_t>(ports_.size()));
+    for (const CorePort &port : ports_) {
+        for (unsigned i = 0; i < SplFunction::maxRegs; ++i) {
+            s.i32(port.staged[i]);
+            s.boolean(port.stagedValid[i]);
+            s.i32(port.funcStaged[i]);
+            s.boolean(port.funcStagedValid[i]);
+        }
+        s.u32(static_cast<std::uint32_t>(port.pending.size()));
+        for (const PendingInit &p : port.pending) {
+            s.u32(p.cfg);
+            s.i64(p.destThread);
+            s.u64(p.readyCycle);
+            saveWords(s, p.inputs);
+        }
+        s.u32(static_cast<std::uint32_t>(port.output.size()));
+        for (const auto &[word, when] : port.output) {
+            s.i32(word);
+            s.u64(when);
+        }
+        s.u32(static_cast<std::uint32_t>(port.funcOutput.size()));
+        for (std::int32_t w : port.funcOutput)
+            s.i32(w);
+    }
+
+    s.u32(static_cast<std::uint32_t>(partitions_.size()));
+    for (const Partition &part : partitions_) {
+        s.u32(part.firstCore);
+        s.u32(part.numCores);
+        s.u32(part.rows);
+        s.u64(part.nextAccept);
+        s.u32(part.rrNext);
+        s.u32(static_cast<std::uint32_t>(part.residentCfgs.size()));
+        for (ConfigId cfg : part.residentCfgs)
+            s.u32(cfg);
+    }
+
+    auto save_op = [&s](const InFlightOp &op) {
+        s.u32(op.cfg);
+        s.u32(op.srcCore);
+        s.boolean(op.isBarrier);
+        s.u64(op.completeCycle);
+        s.u32(static_cast<std::uint32_t>(op.destCores.size()));
+        for (unsigned c : op.destCores)
+            s.u32(c);
+        s.u32(static_cast<std::uint32_t>(op.inputs.size()));
+        for (const auto &words : op.inputs)
+            saveWords(s, words);
+    };
+    s.u32(static_cast<std::uint32_t>(inFlight_.size()));
+    for (const InFlightOp &op : inFlight_)
+        save_op(op);
+    s.u32(static_cast<std::uint32_t>(barrierQueue_.size()));
+    for (const InFlightOp &op : barrierQueue_)
+        save_op(op);
+
+    statGroup_.save(s);
+}
+
+void
+SplFabric::restore(snap::Deserializer &d)
+{
+    if (!d.section("fabric"))
+        return;
+    if (d.u32() != cluster_) {
+        d.fail("cluster id mismatch");
+        return;
+    }
+    threadTable_.restore(d);
+
+    if (d.count() != ports_.size()) {
+        d.fail("port count mismatch");
+        return;
+    }
+    for (CorePort &port : ports_) {
+        for (unsigned i = 0; i < SplFunction::maxRegs; ++i) {
+            port.staged[i] = d.i32();
+            port.stagedValid[i] = d.boolean();
+            port.funcStaged[i] = d.i32();
+            port.funcStagedValid[i] = d.boolean();
+        }
+        port.pending.clear();
+        const std::uint32_t pending = d.count(24);
+        for (std::uint32_t i = 0; i < pending && d.ok(); ++i) {
+            PendingInit p;
+            p.cfg = d.u32();
+            p.destThread = d.i64();
+            p.readyCycle = d.u64();
+            p.inputs = restoreWords(d);
+            port.pending.push_back(std::move(p));
+        }
+        port.output.clear();
+        const std::uint32_t outputs = d.count(12);
+        for (std::uint32_t i = 0; i < outputs && d.ok(); ++i) {
+            const std::int32_t word = d.i32();
+            const Cycle when = d.u64();
+            port.output.emplace_back(word, when);
+        }
+        port.funcOutput.clear();
+        const std::uint32_t func_outputs = d.count(4);
+        for (std::uint32_t i = 0; i < func_outputs && d.ok(); ++i)
+            port.funcOutput.push_back(d.i32());
+    }
+
+    if (d.count() != partitions_.size()) {
+        d.fail("partition count mismatch");
+        return;
+    }
+    for (Partition &part : partitions_) {
+        if (d.u32() != part.firstCore || d.u32() != part.numCores ||
+            d.u32() != part.rows) {
+            d.fail("partition geometry mismatch");
+            return;
+        }
+        part.nextAccept = d.u64();
+        part.rrNext = d.u32();
+        part.residentCfgs.resize(d.count(4));
+        for (ConfigId &cfg : part.residentCfgs)
+            cfg = d.u32();
+    }
+
+    auto restore_op = [&d](InFlightOp &op) {
+        op.cfg = d.u32();
+        op.srcCore = d.u32();
+        op.isBarrier = d.boolean();
+        op.completeCycle = d.u64();
+        op.destCores.resize(d.count(4));
+        for (unsigned &c : op.destCores)
+            c = d.u32();
+        op.inputs.resize(d.count(4));
+        for (auto &words : op.inputs)
+            words = restoreWords(d);
+    };
+    inFlight_.clear();
+    inFlight_.resize(d.count(21));
+    for (InFlightOp &op : inFlight_)
+        restore_op(op);
+    barrierQueue_.clear();
+    barrierQueue_.resize(d.count(21));
+    for (InFlightOp &op : barrierQueue_)
+        restore_op(op);
+
+    // pendingInits_ mirrors the per-port queues; recompute rather
+    // than trust the stream.
+    pendingInits_ = 0;
+    for (const CorePort &port : ports_)
+        pendingInits_ += port.pending.size();
+
+    statGroup_.restore(d);
+}
+
 } // namespace remap::spl

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "spl/function.hh"
@@ -115,6 +116,11 @@ class ThreadToCoreTable
         return inFlight(core) == 0;
     }
 
+    /** Serialize every entry (snapshot support). */
+    void save(snap::Serializer &s) const;
+    /** Restore into a table with the same core count. */
+    void restore(snap::Deserializer &d);
+
   private:
     struct Entry
     {
@@ -186,6 +192,13 @@ class BarrierUnit
         tracer_ = t;
         traceTid_ = tid;
     }
+
+    /** Serialize declared barriers, outstanding arrivals (timed and
+     *  functional) and the completion counters. Canonical: barrier
+     *  instances are written in ascending id order. */
+    void save(snap::Serializer &s) const;
+    /** Restore state saved by save(); fabric attachments are kept. */
+    void restore(snap::Deserializer &d);
 
   private:
     struct Arrival
@@ -373,6 +386,17 @@ class SplFabric
      * track @p tid. Observation only: fabric timing is unchanged.
      */
     void setTracer(trace::Tracer *t, std::uint32_t tid);
+
+    /** Serialize all dynamic state: ports (staged words, pending
+     *  initiations, output queues, functional mirrors), partition
+     *  schedulers (next-accept, round-robin pointer, resident
+     *  configurations), in-flight ops, the queued barrier work, the
+     *  thread table and the stat counters. Partition geometry is
+     *  structural and only written for verification. */
+    void save(snap::Serializer &s) const;
+    /** Restore into a fabric built with identical params/partitions;
+     *  pendingInits_ is recomputed from the restored queues. */
+    void restore(snap::Deserializer &d);
 
   private:
     struct PendingInit

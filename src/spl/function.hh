@@ -121,6 +121,8 @@ class SplFunction
         rows_.size()); }
     /** The row program itself. */
     const std::vector<Row> &rowProgram() const { return rows_; }
+    /** The Lut8 table (empty when the program has no LUT ops). */
+    const std::vector<std::int32_t> &lutTable() const { return lut_; }
 
     /** Rows needed to combine @p participants inputs (reduce mode). */
     unsigned reduceRows(unsigned participants) const;

@@ -1,0 +1,259 @@
+/** @file The snapshot subsystem's headline guarantee, enforced
+ *  end-to-end: a warm-started (snapshot-restored) region run is
+ *  bit-identical — cycles, energy, work units — to both a cold
+ *  segmented run and a plain continuous run, for every region any
+ *  fig8-fig14 driver simulates. Each TEST below enumerates one
+ *  driver family's job set exactly as the driver builds it; jobs
+ *  already proven by an earlier TEST are skipped (the drivers share
+ *  many regions), so the whole file costs roughly three cold
+ *  simulations of the deduped union. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "harness/experiment.hh"
+#include "harness/parallel.hh"
+#include "harness/snapshot_cache.hh"
+
+namespace remap
+{
+namespace
+{
+
+using harness::RegionJob;
+using harness::SnapshotCache;
+using workloads::Mode;
+using workloads::RunSpec;
+using workloads::Variant;
+
+/** Jobs already verified in this process (region sets overlap
+ *  heavily between figures; each unique job is proven once). */
+std::set<std::string> &
+covered()
+{
+    static std::set<std::string> keys;
+    return keys;
+}
+
+/**
+ * Prove the three-way equivalence for every not-yet-covered job:
+ *   A — continuous run, snapshot cache disabled (the pre-snapshot
+ *       code path, byte-for-byte);
+ *   B — cold segmented run on an empty cache (captures snapshots at
+ *       doubling boundaries);
+ *   C — warm run restoring B's largest snapshot.
+ * A==B proves segmented execution is exact; B==C proves restore is
+ * exact. Together: warm-started results equal the original runner's.
+ */
+void
+diffJobs(const std::vector<RegionJob> &jobs)
+{
+    power::EnergyModel model;
+    auto &cache = SnapshotCache::instance();
+    // Snapshot aggressively so even short regions exercise restore.
+    cache.setFirstBoundary(2048);
+
+    for (const RegionJob &job : jobs) {
+        const std::string key = SnapshotCache::makeKey(
+            job.info->name, job.spec, /*config_hash=*/0);
+        if (!covered().insert(key).second)
+            continue;
+        SCOPED_TRACE(key);
+
+        cache.setEnabled(false);
+        const auto a = harness::runRegion(*job.info, job.spec, model);
+
+        cache.setEnabled(true);
+        cache.clear();
+        const auto b = harness::runRegion(*job.info, job.spec, model);
+
+        const auto c = harness::runRegion(*job.info, job.spec, model);
+
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_EQ(a.energyJ, b.energyJ);
+        EXPECT_EQ(a.work, b.work);
+        EXPECT_FALSE(b.warmStarted);
+
+        EXPECT_EQ(a.cycles, c.cycles);
+        EXPECT_EQ(a.energyJ, c.energyJ);
+        EXPECT_EQ(a.work, c.work);
+        // Regions longer than the first boundary must actually have
+        // exercised the restore path.
+        if (a.cycles > 2048) {
+            EXPECT_TRUE(c.warmStarted);
+        }
+    }
+    cache.clear();
+    cache.setFirstBoundary(16384);
+    cache.setEnabled(true);
+}
+
+/** The exact variant list runVariantSet simulates for @p info
+ *  (fig8-fig11 go through runVariantSetsParallel with defaults:
+ *  no SwQueue, 4 compute copies). */
+std::vector<RegionJob>
+variantSetJobs(const workloads::WorkloadInfo &info)
+{
+    std::vector<RegionJob> jobs;
+    RunSpec spec;
+    for (Variant v : {Variant::Seq, Variant::SeqOoo2, Variant::Comp}) {
+        spec.variant = v;
+        spec.copies =
+            v == Variant::Comp && info.mode == Mode::ComputeOnly ? 4
+                                                                 : 1;
+        jobs.push_back(RegionJob{&info, spec});
+    }
+    spec.copies = 1;
+    if (info.mode == Mode::CommComp) {
+        for (Variant v :
+             {Variant::Comm, Variant::CompComm, Variant::Ooo2Comm}) {
+            spec.variant = v;
+            jobs.push_back(RegionJob{&info, spec});
+        }
+    }
+    return jobs;
+}
+
+/** One fig12/fig14-style sweep series for @p name. */
+std::vector<RegionJob>
+barrierSweepJobs(const char *name, const std::vector<unsigned> &sizes,
+                 bool with_comp)
+{
+    const auto &info = workloads::byName(name);
+    std::vector<std::pair<Variant, unsigned>> series = {
+        {Variant::Seq, 1},
+        {Variant::SwBarrier, 8},
+        {Variant::SwBarrier, 16},
+        {Variant::HwBarrier, 8},
+        {Variant::HwBarrier, 16}};
+    if (with_comp) {
+        series.emplace_back(Variant::HwBarrierComp, 8);
+        series.emplace_back(Variant::HwBarrierComp, 16);
+    }
+    std::vector<RegionJob> jobs;
+    for (unsigned size : sizes) {
+        for (auto [v, p] : series) {
+            RunSpec spec;
+            spec.variant = v;
+            spec.problemSize = size;
+            spec.threads = p;
+            jobs.push_back(RegionJob{&info, spec});
+        }
+    }
+    return jobs;
+}
+
+TEST(SnapshotDifferential, Fig8ToFig11VariantSets)
+{
+    // fig8/fig9/fig10/fig11 all simulate the same region set: the
+    // full variant set of every non-barrier workload.
+    std::vector<RegionJob> jobs;
+    for (const auto &w : workloads::registry()) {
+        if (w.mode == Mode::Barrier)
+            continue;
+        auto set = variantSetJobs(w);
+        jobs.insert(jobs.end(), set.begin(), set.end());
+    }
+    diffJobs(jobs);
+}
+
+TEST(SnapshotDifferential, Fig12BarrierSweeps)
+{
+    std::vector<RegionJob> jobs;
+    for (const auto &[name, sizes, comp] :
+         {std::tuple<const char *, std::vector<unsigned>, bool>{
+              "ll2", {8, 16, 32, 64, 128, 256, 512}, false},
+          {"ll6", {8, 16, 32, 64, 128, 256}, false},
+          {"ll3", {32, 64, 128, 256, 512, 1024}, true},
+          {"dijkstra", {32, 64, 96, 128, 160, 192}, true}}) {
+        auto sweep = barrierSweepJobs(name, sizes, comp);
+        jobs.insert(jobs.end(), sweep.begin(), sweep.end());
+    }
+    diffJobs(jobs);
+}
+
+TEST(SnapshotDifferential, Fig13BarrierCompSweeps)
+{
+    // fig13 adds the p2/p4 thread counts over fig12's regions.
+    std::vector<RegionJob> jobs;
+    for (const auto &[name, sizes] :
+         {std::pair<const char *, std::vector<unsigned>>{
+              "ll3", {32, 64, 128, 256, 512, 1024}},
+          {"dijkstra", {32, 64, 96, 128, 160, 192}}}) {
+        const auto &info = workloads::byName(name);
+        for (unsigned size : sizes) {
+            for (unsigned p : {2u, 4u, 8u, 16u}) {
+                for (Variant v :
+                     {Variant::HwBarrier, Variant::HwBarrierComp}) {
+                    RunSpec spec;
+                    spec.variant = v;
+                    spec.problemSize = size;
+                    spec.threads = p;
+                    jobs.push_back(RegionJob{&info, spec});
+                }
+            }
+        }
+    }
+    diffJobs(jobs);
+}
+
+TEST(SnapshotDifferential, Fig14EdSweeps)
+{
+    // fig14's regions are a subset of fig12's (same sweeps, Seq
+    // baseline shared per size); enumerating them here documents the
+    // coverage — the dedup set makes this pass nearly free.
+    std::vector<RegionJob> jobs;
+    for (const auto &[name, sizes, comp] :
+         {std::tuple<const char *, std::vector<unsigned>, bool>{
+              "ll2", {8, 16, 32, 64, 128, 256, 512}, false},
+          {"ll6", {8, 16, 32, 64, 128, 256}, false},
+          {"ll3", {32, 64, 128, 256, 512, 1024}, true},
+          {"dijkstra", {32, 64, 96, 128, 160, 192}, true}}) {
+        auto sweep = barrierSweepJobs(name, sizes, comp);
+        jobs.insert(jobs.end(), sweep.begin(), sweep.end());
+    }
+    diffJobs(jobs);
+}
+
+TEST(SnapshotDifferential, TracedRunsBypassTheCacheUnchanged)
+{
+    // Tracing must observe the complete run, so runRegion skips
+    // warm-start whenever the system traces — and the traced result
+    // still equals the warm-started untraced one.
+    auto &cache = SnapshotCache::instance();
+    cache.setEnabled(true);
+    cache.clear();
+    cache.setFirstBoundary(1024);
+
+    power::EnergyModel model;
+    const auto &info = workloads::byName("ll2");
+    RunSpec spec;
+    spec.variant = Variant::HwBarrier;
+    spec.problemSize = 32;
+    spec.threads = 8;
+
+    const auto cold = harness::runRegion(info, spec, model);
+    const auto warm = harness::runRegion(info, spec, model);
+    ASSERT_TRUE(warm.warmStarted);
+
+    ASSERT_EQ(setenv("REMAP_TRACE", "/tmp/remap_snapdiff_trace.json",
+                     1),
+              0);
+    const auto traced = harness::runRegion(info, spec, model);
+    ASSERT_EQ(unsetenv("REMAP_TRACE"), 0);
+
+    EXPECT_FALSE(traced.warmStarted);
+    EXPECT_EQ(traced.configHash, 0u);
+    EXPECT_EQ(traced.cycles, warm.cycles);
+    EXPECT_EQ(traced.energyJ, warm.energyJ);
+    EXPECT_EQ(traced.work, warm.work);
+    EXPECT_EQ(cold.cycles, warm.cycles);
+
+    cache.clear();
+    cache.setFirstBoundary(16384);
+}
+
+} // namespace
+} // namespace remap
