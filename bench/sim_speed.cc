@@ -60,18 +60,58 @@ void
 BM_CoreSimulation(benchmark::State &state)
 {
     auto prog = makeLoop(10000);
-    std::uint64_t insts = 0;
+    std::uint64_t insts = 0, cycles = 0;
     for (auto _ : state) {
         sys::System sys(sys::SystemConfig::ooo1Cluster(1));
         auto &t = sys.createThread(&prog);
         sys.mapThread(t.id, 0);
-        sys.run();
+        cycles += sys.run().cycles;
         insts += sys.core(0).committedInsts.value();
     }
     state.counters["sim_insts_per_s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CoreSimulation)->Unit(benchmark::kMillisecond);
+
+/**
+ * The event-horizon scheduler's target case: a dependent-load miss
+ * chain where every load lands 4 KiB past the previous one, misses
+ * to DRAM, and feeds the next address. The core spends ~200 of
+ * every ~205 cycles stalled on one outstanding load, so nearly the
+ * whole run is leapable; REMAP_NO_LEAP=1 recovers the per-cycle
+ * cost for comparison.
+ */
+void
+BM_EventHorizon(benchmark::State &state)
+{
+    isa::ProgramBuilder b("chase");
+    b.li(1, 0).li(2, 2000).li(3, 0x100000).li(4, 4096).li(6, 0);
+    b.label("loop")
+        .bge(1, 2, "done")
+        .add(3, 3, 6) // fold the loaded value into the next address
+        .ld(6, 3, 0)  // 4 KiB stride: misses L1/L2 every time
+        .add(3, 3, 4)
+        .addi(1, 1, 1)
+        .j("loop")
+        .label("done")
+        .halt();
+    auto prog = b.build();
+    std::uint64_t insts = 0, cycles = 0;
+    for (auto _ : state) {
+        sys::System sys(sys::SystemConfig::ooo1Cluster(1));
+        auto &t = sys.createThread(&prog);
+        sys.mapThread(t.id, 0);
+        cycles += sys.run().cycles;
+        insts += sys.core(0).committedInsts.value();
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventHorizon)->Unit(benchmark::kMillisecond);
 
 void
 BM_CacheAccess(benchmark::State &state)
@@ -155,14 +195,19 @@ BM_ParallelHarness(benchmark::State &state)
         spec.threads = 8;
         jobs.push_back(harness::RegionJob{&info, spec});
     }
-    std::uint64_t sim_cycles = 0;
+    std::uint64_t sim_cycles = 0, sim_insts = 0;
     for (auto _ : state) {
         auto results = harness::runRegions(jobs, model);
-        for (const auto &r : results)
+        for (const auto &r : results) {
             sim_cycles += r.cycles;
+            sim_insts += r.insts;
+        }
     }
     state.counters["sim_cycles_per_s"] = benchmark::Counter(
         static_cast<double>(sim_cycles),
+        benchmark::Counter::kIsRate);
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_insts),
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ParallelHarness)->Unit(benchmark::kMillisecond);
@@ -198,14 +243,19 @@ BM_FigureSweep(benchmark::State &state)
             jobs.push_back(harness::RegionJob{&info, spec});
         }
     }
-    std::uint64_t sim_cycles = 0;
+    std::uint64_t sim_cycles = 0, sim_insts = 0;
     for (auto _ : state) {
         auto results = harness::runRegions(jobs, model);
-        for (const auto &r : results)
+        for (const auto &r : results) {
             sim_cycles += r.cycles;
+            sim_insts += r.insts;
+        }
     }
     state.counters["sim_cycles_per_s"] = benchmark::Counter(
         static_cast<double>(sim_cycles),
+        benchmark::Counter::kIsRate);
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_insts),
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FigureSweep)->Unit(benchmark::kMillisecond);
@@ -241,14 +291,19 @@ BM_SnapshotSweepCold(benchmark::State &state)
 {
     power::EnergyModel model;
     auto jobs = makeSnapshotSweepJobs();
-    std::uint64_t sim_cycles = 0;
+    std::uint64_t sim_cycles = 0, sim_insts = 0;
     for (auto _ : state) {
         auto results = harness::runRegions(jobs, model);
-        for (const auto &r : results)
+        for (const auto &r : results) {
             sim_cycles += r.cycles;
+            sim_insts += r.insts;
+        }
     }
     state.counters["sim_cycles_per_s"] = benchmark::Counter(
         static_cast<double>(sim_cycles),
+        benchmark::Counter::kIsRate);
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_insts),
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SnapshotSweepCold)->Unit(benchmark::kMillisecond);
@@ -271,14 +326,19 @@ BM_SnapshotSweepWarm(benchmark::State &state)
     cache.clear();
     // Prime: one untimed cold pass captures the snapshots.
     harness::runRegions(jobs, model);
-    std::uint64_t sim_cycles = 0;
+    std::uint64_t sim_cycles = 0, sim_insts = 0;
     for (auto _ : state) {
         auto results = harness::runRegions(jobs, model);
-        for (const auto &r : results)
+        for (const auto &r : results) {
             sim_cycles += r.cycles;
+            sim_insts += r.insts;
+        }
     }
     state.counters["sim_cycles_per_s"] = benchmark::Counter(
         static_cast<double>(sim_cycles),
+        benchmark::Counter::kIsRate);
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_insts),
         benchmark::Counter::kIsRate);
     cache.clear();
     cache.setEnabled(false);

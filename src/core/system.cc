@@ -78,6 +78,11 @@ System::System(const SystemConfig &config)
 {
     REMAP_ASSERT(!config.clusters.empty(), "system with no clusters");
 
+    // REMAP_NO_LEAP=1 pins the run loop to the per-cycle reference;
+    // the differential tests compare it against the default
+    // event-horizon scheduler for bit-identity (DESIGN.md §10).
+    leapEnabled_ = std::getenv("REMAP_NO_LEAP") == nullptr;
+
     unsigned total_cores = 0;
     for (const ClusterConfig &c : config.clusters)
         total_cores += c.numCores;
@@ -288,15 +293,17 @@ System::scheduleMigration(ThreadId tid, CoreId to_core, Cycle at)
     migrations_.push_back(m);
 }
 
-void
+bool
 System::processMigrations()
 {
+    bool progressed = false;
     for (auto it = migrations_.begin(); it != migrations_.end();) {
         Migration &m = *it;
         switch (m.state) {
           case Migration::State::Waiting: {
             if (cycle_ < m.at)
                 break;
+            progressed = true;
             // Locate the source core lazily (the thread may itself
             // have been migrated since scheduling).
             m.from = threadCore_[m.tid];
@@ -319,6 +326,7 @@ System::processMigrations()
             cpu::OooCore &from = *cores_[m.from];
             if (!from.drained())
                 break;
+            progressed = true;
             spl::SplFabric *fabric = coreFabric_[m.from];
             if (fabric && !fabric->threadTable().canSwitchOut(
                               coreSlot_[m.from])) {
@@ -359,6 +367,7 @@ System::processMigrations()
           case Migration::State::Switching: {
             if (cycle_ < m.resumeAt)
                 break;
+            progressed = true;
             REMAP_ASSERT(cores_[m.to]->thread() == nullptr,
                          "migration target core is occupied");
             mapThread(m.tid, m.to);
@@ -378,6 +387,7 @@ System::processMigrations()
         }
         ++it;
     }
+    return progressed;
 }
 
 Cycle
@@ -433,11 +443,19 @@ System::runInternal(Cycle max_cycles, bool warn_on_timeout)
     }
 
     while (true) {
+        // Event-horizon bookkeeping: all_quiet holds iff every tick
+        // this iteration left its component's externally visible
+        // state unchanged (fixed stall signature). Only then are the
+        // following cycles guaranteed to repeat this one verbatim
+        // until the earliest nextEventCycle() threshold.
+        bool all_quiet = leapEnabled_;
         if (activeCores_ > 0) {
             for (std::size_t i = 0; i < cores_.size(); ++i) {
                 if (coreDone_[i])
                     continue;
                 cores_[i]->tick(cycle_);
+                if (!cores_[i]->lastTickQuiet())
+                    all_quiet = false;
                 if (cores_[i]->done()) {
                     coreDone_[i] = 1;
                     --activeCores_;
@@ -448,11 +466,13 @@ System::runInternal(Cycle max_cycles, bool warn_on_timeout)
         for (auto &fabric : fabrics_) {
             if (!fabric->idle()) {
                 fabric->tick(cycle_);
+                if (!fabric->lastTickQuiet())
+                    all_quiet = false;
                 fabrics_idle = fabric->idle() && fabrics_idle;
             }
         }
-        if (!migrations_.empty())
-            processMigrations();
+        if (!migrations_.empty() && processMigrations())
+            all_quiet = false; // drain requests invalidate signatures
         ++cycle_;
         if (cycle_ >= nextSample_) {
             sampler_.sample(*tracer_, cycle_);
@@ -471,19 +491,41 @@ System::runInternal(Cycle max_cycles, bool warn_on_timeout)
             break;
         }
 
-        // Idle-window fast-forward: when every component is quiet
-        // and the only outstanding events are migration wake-ups (or
-        // an unreachable barrier that can only time out), the
-        // intervening cycles are all no-ops, so jump straight to the
-        // next event. Cycle counts and statistics are unchanged.
-        if (activeCores_ == 0 && fabrics_idle) {
-            Cycle wake = nextMigrationWake();
-            if (wake > cycle_) {
-                const Cycle limit = start + max_cycles;
-                if (wake >= limit)
-                    wake = limit - 1; // let the timeout check fire
-                if (wake > cycle_)
-                    cycle_ = wake;
+        // Event-horizon leap: the tick at cycle_-1 was quiet
+        // everywhere, so every tick until the earliest component
+        // horizon repeats it exactly. Bulk-account the per-cycle
+        // stall statistics those ticks would have produced and jump
+        // straight to the horizon. The target is clamped so that the
+        // timeout check, the next counter sample and the next
+        // migration wake-up all still fire on the exact cycle the
+        // per-cycle loop (REMAP_NO_LEAP=1) would fire them on; see
+        // DESIGN.md §10 for the bit-identity argument.
+        if (all_quiet) {
+            const Cycle now = cycle_ - 1; // the cycle just ticked
+            Cycle target = neverCycle;
+            for (std::size_t i = 0; i < cores_.size(); ++i) {
+                if (!coreDone_[i])
+                    target = std::min(
+                        target, cores_[i]->nextEventCycle(now));
+            }
+            for (auto &fabric : fabrics_) {
+                if (!fabric->idle())
+                    target = std::min(target,
+                                      fabric->nextEventCycle(now));
+            }
+            if (!migrations_.empty()) {
+                const Cycle wake = nextMigrationWake();
+                target = wake == 0 ? cycle_ : std::min(target, wake);
+            }
+            target = std::min(target, start + max_cycles - 1);
+            target = std::min(target, nextSample_ - 1);
+            if (target > cycle_) {
+                const Cycle skipped = target - cycle_;
+                for (std::size_t i = 0; i < cores_.size(); ++i) {
+                    if (!coreDone_[i])
+                        cores_[i]->accountSkippedStallCycles(skipped);
+                }
+                cycle_ = target;
             }
         }
     }

@@ -161,6 +161,15 @@ class System
 
     /** Core accessor. */
     cpu::OooCore &core(CoreId id) { return *cores_.at(id); }
+    /** Instructions committed across every core (throughput
+     *  reporting; restored counters keep their full history). */
+    std::uint64_t totalCommittedInsts() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &c : cores_)
+            total += c->committedInsts.value();
+        return total;
+    }
     /** Fabric accessor (dense fabric index). */
     spl::SplFabric &fabric(unsigned idx) { return *fabrics_.at(idx); }
     /** Thread accessor. */
@@ -311,13 +320,20 @@ class System
         Cycle drainStart = 0;
         /** @} */
     };
-    void processMigrations();
+    /** @return true when any migration changed state this call (a
+     *  drain request invalidates core stall signatures, so the run
+     *  loop must not leap over a cycle that made progress here). */
+    bool processMigrations();
     std::vector<Migration> migrations_;
 
     /** Register the sampled counters for the periodic sampler. */
     void registerSamplers();
 
     RunResult runInternal(Cycle max_cycles, bool warn_on_timeout);
+
+    /** Event-horizon leaps enabled (cleared by REMAP_NO_LEAP=1 for
+     *  the per-cycle differential reference; see DESIGN.md §10). */
+    bool leapEnabled_ = true;
 
     std::unique_ptr<trace::Tracer> tracer_;
     trace::CounterSampler sampler_;

@@ -447,12 +447,14 @@ OooCore::fetch(Cycle now)
         return;
     if (fetchBlockedOnSeq_ != 0 || now < fetchResumeCycle_) {
         ++fetchStallCycles;
+        stallMask_ |= kStallFetch;
         return;
     }
 
     const std::uint64_t base = codeBase(ctx_->id);
     Cycle icache_ready = 0;
     bool accessed_icache = false;
+    bool icache_pure_hit = false;
 
     for (unsigned n = 0; n < params_.fetchWidth; ++n) {
         if (fb_.size() >= params_.fetchBufferEntries)
@@ -464,19 +466,31 @@ OooCore::fetch(Cycle now)
 
         DynInst d;
         d.si = &inst;
+        d.cls = inst.opClass();
         d.pcAddr = base + std::uint64_t(ctx_->pc) * 8;
-        d.usesFpQueue = usesFpQueue(inst.opClass());
+        d.usesFpQueue = usesFpQueue(d.cls);
 
         if (!accessed_icache) {
+            const std::uint64_t misses_before =
+                mem_->l1iMisses(id_);
             icache_ready =
                 mem_->access(id_, d.pcAddr, mem::AccessKind::IFetch,
                              now);
             accessed_icache = true;
+            // A pure L1I hit touches only the hit counter and the LRU
+            // stamp — the one repeatable-per-cycle side effect the
+            // event-horizon leap is allowed to bulk-replicate.
+            icache_pure_hit =
+                mem_->l1iMisses(id_) == misses_before;
+            if (!icache_pure_hit)
+                tickProgress_ = true;
         }
 
         const std::uint32_t prev_pc = ctx_->pc;
         if (!funcExecute(inst, d)) {
             ++splFetchStalls;
+            stallMask_ |= kStallSplFetch;
+            stallFetchAddr_ = d.pcAddr;
             if (tracer_ && splFetchStallStart_ == 0)
                 splFetchStallStart_ = now;
             break;
@@ -486,6 +500,7 @@ OooCore::fetch(Cycle now)
         d.seq = nextSeq_++;
         d.fbReady = std::max(icache_ready, now + 1);
         ++fetchedInsts;
+        tickProgress_ = true;
         fb_.push_back(d);
 
         if (inst.isBranch()) {
@@ -524,9 +539,10 @@ OooCore::dispatch(Cycle now)
             break;
         if (rob_.size() >= params_.robEntries) {
             ++robFullStalls;
+            stallMask_ |= kStallRobFull;
             break;
         }
-        const isa::OpClass cls = d.si->opClass();
+        const isa::OpClass cls = d.cls;
         unsigned &queue_occ =
             d.usesFpQueue ? fpQueueOcc_ : intQueueOcc_;
         const unsigned queue_cap = d.usesFpQueue
@@ -534,6 +550,7 @@ OooCore::dispatch(Cycle now)
                                        : params_.intQueueEntries;
         if (queue_occ >= queue_cap) {
             ++iqFullStalls;
+            stallMask_ |= kStallIqFull;
             break;
         }
         const bool is_load = cls == isa::OpClass::Load ||
@@ -543,10 +560,12 @@ OooCore::dispatch(Cycle now)
                               cls == isa::OpClass::SplStoreMem;
         if (is_load && loadQueueOcc_ >= params_.loadQueueEntries) {
             ++lsqFullStalls;
+            stallMask_ |= kStallLsqFull;
             break;
         }
         if (is_store && storeQueueOcc_ >= params_.storeQueueEntries) {
             ++lsqFullStalls;
+            stallMask_ |= kStallLsqFull;
             break;
         }
 
@@ -568,6 +587,7 @@ OooCore::dispatch(Cycle now)
             ++loadQueueOcc_;
         if (is_store)
             ++storeQueueOcc_;
+        tickProgress_ = true;
         rob_.push_back(d);
         recordProducer(rob_.back());
         fb_.pop_front();
@@ -577,6 +597,11 @@ OooCore::dispatch(Cycle now)
 void
 OooCore::issue(Cycle now)
 {
+    // The queue occupancies count exactly the Dispatched-stage ROB
+    // entries; with none, the walk below is a no-op (its ordering
+    // flags are only consumed by issue attempts).
+    if (intQueueOcc_ + fpQueueOcc_ == 0)
+        return;
     unsigned issued = 0;
     unsigned int_alus = params_.intAlus;
     unsigned fp_alus = params_.fpAlus;
@@ -588,7 +613,7 @@ OooCore::issue(Cycle now)
     for (DynInst &d : rob_) {
         if (issued >= params_.issueWidth)
             break;
-        const isa::OpClass cls = d.si->opClass();
+        const isa::OpClass cls = d.cls;
         const bool is_store_like =
             cls == isa::OpClass::Store || cls == isa::OpClass::Amo ||
             cls == isa::OpClass::Fence ||
@@ -674,7 +699,9 @@ OooCore::issue(Cycle now)
             for (const DynInst &s : rob_) {
                 if (s.seq >= d.seq)
                     break;
-                if (!s.si->isStore())
+                if (s.cls != isa::OpClass::Store &&
+                    s.cls != isa::OpClass::Amo &&
+                    s.cls != isa::OpClass::SplStoreMem)
                     continue;
                 const bool overlap =
                     s.memAddr < d.memAddr + d.memLen &&
@@ -737,6 +764,8 @@ OooCore::issue(Cycle now)
 
         d.stage = Stage::Issued;
         d.completeCycle = complete;
+        tickProgress_ = true;
+        ++issuedOcc_;
         if (d.usesFpQueue)
             --fpQueueOcc_;
         else
@@ -748,9 +777,13 @@ OooCore::issue(Cycle now)
 void
 OooCore::writeback(Cycle now)
 {
+    if (issuedOcc_ == 0)
+        return;
     for (DynInst &d : rob_) {
         if (d.stage == Stage::Issued && d.completeCycle <= now) {
             d.stage = Stage::Completed;
+            --issuedOcc_;
+            tickProgress_ = true;
             if (d.seq == fetchBlockedOnSeq_) {
                 fetchBlockedOnSeq_ = 0;
                 fetchResumeCycle_ = std::max(
@@ -769,7 +802,7 @@ OooCore::commit(Cycle now)
         DynInst &d = rob_.front();
         if (d.stage != Stage::Completed || d.completeCycle > now)
             break;
-        const isa::OpClass cls = d.si->opClass();
+        const isa::OpClass cls = d.cls;
 
         switch (cls) {
           case isa::OpClass::Store: {
@@ -798,6 +831,7 @@ OooCore::commit(Cycle now)
           case isa::OpClass::SplLoad:
             if (!spl_->canLoad(splSlot_)) {
                 ++splCommitStalls;
+                stallMask_ |= kStallSplCommit;
                 if (tracer_ && splCommitStallStart_ == 0)
                     splCommitStallStart_ = now;
                 goto commit_stalled;
@@ -810,6 +844,7 @@ OooCore::commit(Cycle now)
           case isa::OpClass::SplLoadMem:
             if (!spl_->canLoad(splSlot_)) {
                 ++splCommitStalls;
+                stallMask_ |= kStallSplCommit;
                 if (tracer_ && splCommitStallStart_ == 0)
                     splCommitStallStart_ = now;
                 goto commit_stalled;
@@ -835,6 +870,7 @@ OooCore::commit(Cycle now)
             if (d.si->op == isa::Opcode::SPL_BAR) {
                 if (!spl_->canBar(splSlot_)) {
                     ++splCommitStalls;
+                    stallMask_ |= kStallSplCommit;
                     if (tracer_ && splCommitStallStart_ == 0)
                         splCommitStallStart_ = now;
                     goto commit_stalled;
@@ -846,6 +882,7 @@ OooCore::commit(Cycle now)
             } else {
                 if (!spl_->canInit(splSlot_, d.si->imm2)) {
                     ++splCommitStalls;
+                    stallMask_ |= kStallSplCommit;
                     if (tracer_ && splCommitStallStart_ == 0)
                         splCommitStallStart_ = now;
                     goto commit_stalled;
@@ -885,6 +922,7 @@ OooCore::commit(Cycle now)
                     << d.pcAddr << std::dec << ": "
                     << isa::disassemble(*d.si) << '\n';
         }
+        tickProgress_ = true;
         rob_.pop_front();
     }
   commit_stalled:;
@@ -895,6 +933,8 @@ OooCore::tick(Cycle now)
 {
     if (!ctx_)
         return;
+    tickProgress_ = false;
+    stallMask_ = 0;
     if (!done())
         ++activeCycles;
     commit(now);
@@ -902,6 +942,59 @@ OooCore::tick(Cycle now)
     issue(now);
     dispatch(now);
     fetch(now);
+}
+
+Cycle
+OooCore::nextEventCycle(Cycle now) const
+{
+    if (!ctx_ || done())
+        return neverCycle;
+    Cycle next = neverCycle;
+    auto consider = [&](Cycle c) {
+        if (c > now && c < next)
+            next = c;
+    };
+    // Every `now`-comparison in the tick is against one of these
+    // thresholds; anything <= now keeps its truth value as now grows,
+    // so a quiet tick stays quiet until the earliest of them.
+    consider(fetchResumeCycle_);
+    consider(divBusyUntil_);
+    consider(fpDivBusyUntil_);
+    consider(storeBufferDrainCycle_);
+    if (!fb_.empty())
+        consider(fb_.front().fbReady);
+    for (const DynInst &d : rob_) {
+        if (d.stage == Stage::Issued)
+            consider(d.completeCycle);
+    }
+    if (spl_)
+        consider(spl_->outputHeadReadyCycle(splSlot_));
+    return next;
+}
+
+void
+OooCore::accountSkippedStallCycles(Cycle n)
+{
+    if (n == 0 || !ctx_ || done())
+        return;
+    activeCycles += n;
+    if (stallMask_ & kStallFetch)
+        fetchStallCycles += n;
+    if (stallMask_ & kStallSplFetch) {
+        splFetchStalls += n;
+        // The stalled spl_store re-probes its own icache line every
+        // cycle; replicate those guaranteed-pure hits in bulk so the
+        // cache hit counters and LRU clock match the per-cycle loop.
+        mem_->accountRepeatedIFetchHits(id_, stallFetchAddr_, n);
+    }
+    if (stallMask_ & kStallSplCommit)
+        splCommitStalls += n;
+    if (stallMask_ & kStallRobFull)
+        robFullStalls += n;
+    if (stallMask_ & kStallIqFull)
+        iqFullStalls += n;
+    if (stallMask_ & kStallLsqFull)
+        lsqFullStalls += n;
 }
 
 void
@@ -1009,6 +1102,7 @@ OooCore::restore(snap::Deserializer &d)
                     return;
                 }
                 di.si = &ctx_->program->code[si_idx];
+                di.cls = di.si->opClass();
             }
             di.seq = d.u64();
             di.pcAddr = d.u64();
@@ -1039,6 +1133,10 @@ OooCore::restore(snap::Deserializer &d)
     restore_insts(rob_, 87);
     if (!d.ok())
         return;
+    issuedOcc_ = 0;
+    for (const DynInst &di : rob_)
+        if (di.stage == Stage::Issued)
+            ++issuedOcc_;
 
     nextSeq_ = d.u64();
     for (std::uint64_t &p : intProducer_)

@@ -119,6 +119,39 @@ class OooCore
     /** Advance one core cycle. */
     void tick(Cycle now);
 
+    /**
+     * True when the most recent tick() changed no state beyond the
+     * fixed per-cycle stall signature (stall counters plus, for an
+     * spl_store fetch stall, one pure L1I hit). While every component
+     * is quiet the whole-chip state is frozen, so the run loop may
+     * leap to the next event horizon and bulk-account the signature
+     * via accountSkippedStallCycles().
+     */
+    bool lastTickQuiet() const { return !tickProgress_; }
+
+    /**
+     * Earliest cycle strictly after @p now at which this core's tick
+     * could behave differently than it did at @p now, assuming no
+     * other component acts in between: the minimum over every
+     * time-threshold the pipeline compares against `now` (issued
+     * instructions' completion, fetch-buffer head readiness, fetch
+     * redirect resume, divider and store-buffer busy horizons, the
+     * fabric output-queue head). Returns neverCycle when none is
+     * pending. Only meaningful after a quiet tick — every comparison
+     * with a threshold <= now keeps its truth value as now grows, so
+     * the tick replays identically on every skipped cycle.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Bulk-apply the last quiet tick's stall signature @p n more
+     * times: the per-cycle stall counters the skipped ticks would
+     * have incremented, and the repeated L1I hit an spl_store fetch
+     * stall replays each cycle. Bit-identical to ticking @p n times
+     * while the chip is frozen.
+     */
+    void accountSkippedStallCycles(Cycle n);
+
     /** True when the thread has halted and the pipeline drained. */
     bool done() const;
 
@@ -195,6 +228,9 @@ class OooCore
     struct DynInst
     {
         const isa::Instruction *si = nullptr;
+        /** Cached si->opClass(): derived, hot in every pipeline
+         *  stage, recomputed (not serialized) on snapshot restore. */
+        isa::OpClass cls = isa::OpClass::IntAlu;
         std::uint64_t seq = 0;
         std::uint64_t pcAddr = 0;
         Stage stage = Stage::InBuffer;
@@ -251,6 +287,10 @@ class OooCore
     unsigned fpQueueOcc_ = 0;
     unsigned loadQueueOcc_ = 0;
     unsigned storeQueueOcc_ = 0;
+    /** ROB entries in Stage::Issued (derived; recomputed on restore,
+     *  not serialized). Lets writeback() skip the ROB walk when no
+     *  completion is possible. */
+    unsigned issuedOcc_ = 0;
 
     Cycle fetchResumeCycle_ = 0;
     std::uint64_t fetchBlockedOnSeq_ = 0; ///< unresolved mispredict
@@ -260,6 +300,22 @@ class OooCore
     Cycle fpDivBusyUntil_ = 0;
     Cycle storeBufferDrainCycle_ = 0;
     std::ostream *trace_ = nullptr;
+
+    /** @{ @name Event-horizon bookkeeping (per-tick, not snapshotted:
+     * the run loop consumes it in the same iteration that ticked). */
+    enum : std::uint8_t
+    {
+        kStallFetch = 1u << 0,     ///< fetchStallCycles
+        kStallSplFetch = 1u << 1,  ///< splFetchStalls + L1I re-probe
+        kStallSplCommit = 1u << 2, ///< splCommitStalls
+        kStallRobFull = 1u << 3,   ///< robFullStalls
+        kStallIqFull = 1u << 4,    ///< iqFullStalls
+        kStallLsqFull = 1u << 5,   ///< lsqFullStalls
+    };
+    bool tickProgress_ = true; ///< last tick changed real state
+    std::uint8_t stallMask_ = 0; ///< stall counters the tick bumped
+    Addr stallFetchAddr_ = 0; ///< pc of the stalled spl_store group
+    /** @} */
 
     /** Close any open SPL stall span at @p now (trace-only state). */
     void traceEndStall(Cycle now, bool commit_side);

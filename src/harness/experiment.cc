@@ -113,6 +113,7 @@ runRegion(const workloads::WorkloadInfo &info, const RunSpec &spec,
         REMAP_FATAL("workload '%s' (%s) failed golden verification",
                     info.name.c_str(),
                     workloads::variantName(spec.variant));
+    res.insts = run.system->totalCommittedInsts();
     const unsigned copies = std::max(1u, spec.copies);
     res.energyJ =
         run.system->measureEnergy(model, res.cycles,

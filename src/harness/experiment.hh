@@ -24,6 +24,9 @@ struct RegionResult
     Cycle cycles = 0;     ///< wall-clock core cycles of the run
     double energyJ = 0.0; ///< energy per program copy (J)
     double work = 1.0;    ///< work units completed (per copy)
+    /** Instructions committed across all cores (all copies; warm
+     *  starts restore counters, so this is the full-run total). */
+    std::uint64_t insts = 0;
 
     /** System::configHash() of the simulated run (0 when the
      *  snapshot cache was bypassed, e.g. while tracing). */

@@ -47,6 +47,18 @@ Cache::lookup(Addr addr)
     return nullptr;
 }
 
+void
+Cache::accountRepeatedHits(Addr addr, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    Line *line = lookup(addr);
+    REMAP_ASSERT(line, "bulk-accounting hits on a non-resident line");
+    lruClock_ += n - 1;
+    line->lruStamp = lruClock_;
+    hits += n;
+}
+
 const Cache::Line *
 Cache::probe(Addr addr) const
 {

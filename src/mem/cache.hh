@@ -72,6 +72,14 @@ class Cache
     const Line *probe(Addr addr) const;
 
     /**
+     * Replicate @p n consecutive pure hits on @p addr: advance the
+     * LRU clock and the line's stamp as n lookup() calls would and
+     * credit n hits. The line must be resident — callers use this to
+     * bulk-account re-probes of a line a prior access just hit.
+     */
+    void accountRepeatedHits(Addr addr, std::uint64_t n);
+
+    /**
      * Allocate a line for @p addr, evicting LRU if needed.
      *
      * @param[out] victim_addr line address of the evicted line

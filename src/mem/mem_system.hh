@@ -85,6 +85,21 @@ class MemSystem
     Cache &l1i(CoreId core) { return *l1i_[core]; }
     Cache &l1d(CoreId core) { return *l1d_[core]; }
     Cache &l2(CoreId core) { return *l2_[core]; }
+
+    /** L1I miss count for @p core — compared around an IFetch access
+     *  to detect a pure hit (no state change beyond LRU/hit count). */
+    std::uint64_t l1iMisses(CoreId core) const
+    {
+        return l1i_[core]->misses.value();
+    }
+
+    /** Bulk-replicate @p n pure L1I hits of @p core on @p addr (the
+     *  event-horizon leap's stand-in for n per-cycle re-probes). */
+    void accountRepeatedIFetchHits(CoreId core, Addr addr,
+                                   std::uint64_t n)
+    {
+        l1i_[core]->accountRepeatedHits(addr, n);
+    }
     unsigned numCores() const { return static_cast<unsigned>(
         l2_.size()); }
 

@@ -347,6 +347,15 @@ SplFabric::partitionOf(unsigned core)
     REMAP_PANIC("core %u not in any partition", core);
 }
 
+const SplFabric::Partition &
+SplFabric::partitionOf(unsigned core) const
+{
+    for (const Partition &p : partitions_)
+        if (core >= p.firstCore && core < p.firstCore + p.numCores)
+            return p;
+    REMAP_PANIC("core %u not in any partition", core);
+}
+
 bool
 SplFabric::canLoad(unsigned core) const
 {
@@ -587,6 +596,7 @@ SplFabric::completeOps(Cycle now)
         }
         if (!room) {
             it->completeCycle = now + params_.coreCyclesPerSplCycle;
+            tickProgress_ = true; // completeCycle rewritten
             ++it;
             continue;
         }
@@ -604,6 +614,7 @@ SplFabric::completeOps(Cycle now)
             deliverOutput(it->destCores.front(), result,
                           it->completeCycle);
         }
+        tickProgress_ = true;
         it = inFlight_.erase(it);
     }
 }
@@ -666,6 +677,7 @@ SplFabric::acceptPending(Partition &part, Cycle now)
             if (tracer_)
                 traceAccept(fn.name().c_str(), op.srcCore, start,
                             op.completeCycle, rows, ii, true);
+            tickProgress_ = true;
             inFlight_.push_back(std::move(op));
             return;
         }
@@ -733,6 +745,7 @@ SplFabric::acceptPending(Partition &part, Cycle now)
                         op.completeCycle, rows, ii, false);
             traceQueueDepth(c, now);
         }
+        tickProgress_ = true;
         inFlight_.push_back(std::move(op));
         return;
     }
@@ -741,11 +754,53 @@ SplFabric::acceptPending(Partition &part, Cycle now)
 void
 SplFabric::tick(Cycle now)
 {
+    tickProgress_ = false;
     if (now % params_.coreCyclesPerSplCycle != 0)
         return;
     completeOps(now);
     for (Partition &part : partitions_)
         acceptPending(part, now);
+}
+
+Cycle
+SplFabric::outputHeadReadyCycle(unsigned core) const
+{
+    const CorePort &port = ports_[core];
+    return port.output.empty() ? neverCycle
+                               : port.output.front().second;
+}
+
+Cycle
+SplFabric::nextEventCycle(Cycle now) const
+{
+    // tick() acts only on SPL-cycle boundaries, so every threshold is
+    // rounded up to the first boundary strictly after `now`.
+    const Cycle step = params_.coreCyclesPerSplCycle;
+    auto boundary = [&](Cycle c) {
+        c = std::max(c, now + 1);
+        return (c + step - 1) / step * step;
+    };
+    Cycle next = neverCycle;
+    auto consider = [&](Cycle c) { next = std::min(next, boundary(c)); };
+
+    for (const InFlightOp &op : inFlight_)
+        consider(op.completeCycle);
+    if (!barrierQueue_.empty()) {
+        const InFlightOp &bop = barrierQueue_.front();
+        const Partition &home = partitionOf(bop.srcCore);
+        consider(std::max(bop.completeCycle, home.nextAccept));
+    }
+    for (const Partition &part : partitions_) {
+        Cycle ready = neverCycle;
+        for (unsigned i = 0; i < part.numCores; ++i) {
+            const auto &pending = ports_[part.firstCore + i].pending;
+            if (!pending.empty())
+                ready = std::min(ready, pending.front().readyCycle);
+        }
+        if (ready != neverCycle)
+            consider(std::max(ready, part.nextAccept));
+    }
+    return next;
 }
 
 // ---------------------------------------------------------------- //

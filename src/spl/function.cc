@@ -12,7 +12,7 @@ namespace
 {
 
 std::int32_t
-applyOp(const WordOp &w, const std::vector<std::int32_t> &regs,
+applyOp(const WordOp &w, const std::int32_t *regs,
         const std::vector<std::int32_t> &lut)
 {
     const std::int32_t a = regs[w.a];
@@ -88,8 +88,148 @@ SplFunction::reduceRows(unsigned participants) const
     return rows() * stages;
 }
 
+void
+SplFunction::compile()
+{
+    flatOps_.clear();
+    rowEnd_.clear();
+    rowInPlace_.clear();
+    flatOps_.reserve([this] {
+        std::size_t n = 0;
+        for (const Row &r : rows_)
+            n += r.ops.size();
+        return n;
+    }());
+    rowEnd_.reserve(rows_.size());
+    rowInPlace_.reserve(rows_.size());
+
+    // Registers the program can read or write: inputs land in
+    // [0, numInputWords), plus every op operand and output register.
+    unsigned live = numInputWords_;
+    for (std::uint8_t r : outputRegs_)
+        live = std::max(live, unsigned(r) + 1u);
+
+    for (const Row &row : rows_) {
+        bool in_place = true;
+        for (std::size_t i = 0; i < row.ops.size(); ++i) {
+            const WordOp &w = row.ops[i];
+            live = std::max({live, unsigned(w.dst) + 1u,
+                             unsigned(w.a) + 1u, unsigned(w.b) + 1u});
+            // A row's cells all read pre-row values in parallel;
+            // sequential single-bank execution is only equivalent
+            // when no op writes a register a later op of the row
+            // reads. (Two writes to the same register are fine: last
+            // one wins either way.)
+            for (std::size_t j = i + 1; j < row.ops.size(); ++j)
+                if (w.dst == row.ops[j].a || w.dst == row.ops[j].b)
+                    in_place = false;
+            flatOps_.push_back(w);
+        }
+        rowEnd_.push_back(static_cast<std::uint32_t>(flatOps_.size()));
+        rowInPlace_.push_back(in_place ? 1 : 0);
+    }
+    regCount_ = live;
+}
+
+void
+SplFunction::evaluateInto(const std::int32_t *inputs, std::size_t n,
+                          std::int32_t *out) const
+{
+    // Two reusable register banks: safe rows run in place on the
+    // current bank, unsafe rows copy into the other bank and swap.
+    // No allocation on this path.
+    thread_local std::int32_t bank_a[maxRegs];
+    thread_local std::int32_t bank_b[maxRegs];
+    std::int32_t *regs = bank_a;
+    std::int32_t *next = bank_b;
+
+    const std::size_t live = regCount_;
+    const std::size_t filled = std::min(n, live);
+    std::copy_n(inputs, filled, regs);
+    std::fill(regs + filled, regs + live, 0);
+
+    const WordOp *ops = flatOps_.data();
+    std::uint32_t begin = 0;
+    for (std::size_t r = 0; r < rowEnd_.size(); ++r) {
+        const std::uint32_t end = rowEnd_[r];
+        if (rowInPlace_[r]) {
+            for (std::uint32_t i = begin; i < end; ++i)
+                regs[ops[i].dst] = applyOp(ops[i], regs, lut_);
+        } else {
+            std::copy_n(regs, live, next);
+            for (std::uint32_t i = begin; i < end; ++i)
+                next[ops[i].dst] = applyOp(ops[i], regs, lut_);
+            std::swap(regs, next);
+        }
+        begin = end;
+    }
+
+    for (std::size_t i = 0; i < outputRegs_.size(); ++i)
+        out[i] = regs[outputRegs_[i]];
+}
+
 std::vector<std::int32_t>
 SplFunction::evaluate(const std::vector<std::int32_t> &inputs) const
+{
+    std::vector<std::int32_t> out(outputRegs_.size());
+    evaluateInto(inputs.data(), inputs.size(), out.data());
+    return out;
+}
+
+std::vector<std::int32_t>
+SplFunction::evaluateReduce(
+    const std::vector<std::vector<std::int32_t>> &participant_inputs)
+    const
+{
+    REMAP_ASSERT(reduce_, "evaluateReduce on non-reduce function");
+    REMAP_ASSERT(!participant_inputs.empty(),
+                 "reduce needs at least one participant");
+    if (participant_inputs.size() == 1)
+        return participant_inputs.front();
+    const unsigned words = numInputWords_ / 2;
+    REMAP_ASSERT(outputRegs_.size() >= words,
+                 "reduce combiner emits fewer words than it consumes");
+
+    // One flat scratch holds the current tree level, `words` live
+    // words per participant: pair (2k, 2k+1) is contiguous, so each
+    // combine reads its 2*words inputs directly from the scratch.
+    // evaluateInto copies its inputs into a register bank before
+    // writing, so the result can be stored back into slot k (which
+    // overlaps slot 2k) without aliasing issues.
+    thread_local std::vector<std::int32_t> scratch;
+    thread_local std::vector<std::int32_t> combined;
+    scratch.resize(participant_inputs.size() * words);
+    combined.resize(std::max<std::size_t>(outputRegs_.size(), words));
+    for (std::size_t i = 0; i < participant_inputs.size(); ++i) {
+        REMAP_ASSERT(participant_inputs[i].size() >= words,
+                     "reduce participant input too short");
+        std::copy_n(participant_inputs[i].data(), words,
+                    scratch.data() + i * words);
+    }
+
+    std::size_t count = participant_inputs.size();
+    while (count > 2) {
+        const std::size_t pairs = count / 2;
+        for (std::size_t k = 0; k < pairs; ++k) {
+            evaluateInto(scratch.data() + 2 * k * words, 2 * words,
+                         combined.data());
+            std::copy_n(combined.data(), words,
+                        scratch.data() + k * words);
+        }
+        if (count % 2) // odd participant carries to the next level
+            std::copy_n(scratch.data() + (count - 1) * words, words,
+                        scratch.data() + pairs * words);
+        count = pairs + count % 2;
+    }
+    // The final combine's full output is the reduction result.
+    std::vector<std::int32_t> out(outputRegs_.size());
+    evaluateInto(scratch.data(), 2 * words, out.data());
+    return out;
+}
+
+std::vector<std::int32_t>
+SplFunction::evaluateNaive(const std::vector<std::int32_t> &inputs)
+    const
 {
     std::vector<std::int32_t> regs(maxRegs, 0);
     const std::size_t n = std::min<std::size_t>(inputs.size(), maxRegs);
@@ -100,7 +240,7 @@ SplFunction::evaluate(const std::vector<std::int32_t> &inputs) const
     for (const Row &r : rows_) {
         std::vector<std::int32_t> next = regs;
         for (const WordOp &w : r.ops)
-            next[w.dst] = applyOp(w, regs, lut_);
+            next[w.dst] = applyOp(w, regs.data(), lut_);
         regs = std::move(next);
     }
 
@@ -112,7 +252,7 @@ SplFunction::evaluate(const std::vector<std::int32_t> &inputs) const
 }
 
 std::vector<std::int32_t>
-SplFunction::evaluateReduce(
+SplFunction::evaluateReduceNaive(
     const std::vector<std::vector<std::int32_t>> &participant_inputs)
     const
 {
@@ -131,7 +271,7 @@ SplFunction::evaluateReduce(
                 in.push_back(level[i][w]);
             for (unsigned w = 0; w < words; ++w)
                 in.push_back(level[i + 1][w]);
-            next.push_back(evaluate(in));
+            next.push_back(evaluateNaive(in));
         }
         if (level.size() % 2)
             next.push_back(level.back());
@@ -207,6 +347,7 @@ FunctionBuilder::build()
         REMAP_ASSERT(fn_.numInputWords_ % 2 == 0,
                      "reduce combiner needs an even input word count");
     }
+    fn_.compile();
     return std::move(fn_);
 }
 

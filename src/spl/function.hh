@@ -136,16 +136,46 @@ class SplFunction
     evaluate(const std::vector<std::int32_t> &inputs) const;
 
     /**
+     * Allocation-free core of evaluate(): run the compiled (flattened)
+     * program over two reusable register banks, reading @p n input
+     * words from @p inputs and writing outputRegs().size() words to
+     * @p out. @p out must not alias @p inputs. This is the fabric's
+     * hot path; evaluate() is a thin wrapper that materialises the
+     * output vector.
+     */
+    void evaluateInto(const std::int32_t *inputs, std::size_t n,
+                      std::int32_t *out) const;
+
+    /**
      * Fold @p participant_inputs (each wordsPerInput words) through
      * the combiner as a binary tree. Valid only for reduce functions.
+     * Requires outputRegs().size() >= wordsPerInput so intermediate
+     * combine results supply the next tree level's inputs.
      */
     std::vector<std::int32_t>
     evaluateReduce(
         const std::vector<std::vector<std::int32_t>> &participant_inputs)
         const;
 
+    /** @{ @name Reference interpreter
+     * The original row-by-row implementations, kept verbatim as the
+     * differential-testing oracle for the compiled program above
+     * (tests/test_spl_function.cc fuzzes generated programs through
+     * both). Not used on any simulation path. */
+    std::vector<std::int32_t>
+    evaluateNaive(const std::vector<std::int32_t> &inputs) const;
+    std::vector<std::int32_t>
+    evaluateReduceNaive(
+        const std::vector<std::vector<std::int32_t>> &participant_inputs)
+        const;
+    /** @} */
+
   private:
     friend class FunctionBuilder;
+
+    /** Flatten rows_ into the contiguous op array and classify each
+     *  row for single-bank execution; called once by the builder. */
+    void compile();
 
     std::string name_;
     std::vector<Row> rows_;
@@ -153,6 +183,17 @@ class SplFunction
     std::vector<std::uint8_t> outputRegs_;
     bool reduce_ = false;
     std::vector<std::int32_t> lut_; ///< optional 256-entry Lut8 table
+
+    /** @{ @name Compiled program (built by compile())
+     * rows_ flattened into one contiguous array; rowEnd_[r] is the
+     * end index of row r's ops in flatOps_, rowInPlace_[r] is set
+     * when no op in the row writes a register a later op of the same
+     * row reads (such rows run in a single bank with no copy). */
+    std::vector<WordOp> flatOps_;
+    std::vector<std::uint32_t> rowEnd_;
+    std::vector<std::uint8_t> rowInPlace_;
+    unsigned regCount_ = 0; ///< registers the program can touch
+    /** @} */
 };
 
 /**

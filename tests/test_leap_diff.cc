@@ -1,0 +1,211 @@
+/** @file The event-horizon scheduler's headline guarantee, enforced
+ *  end-to-end: a run with cycle leaps enabled (the default) is
+ *  bit-identical — cycles, every statistics counter, energy, the full
+ *  serialized snapshot and the trace byte stream — to the per-cycle
+ *  reference loop (REMAP_NO_LEAP=1), for every region any fig8-fig14
+ *  driver simulates. The job enumeration is shared with
+ *  test_snapshot_diff.cc (region_jobs.hh); jobs already proven are
+ *  skipped, so the file costs roughly one leap plus one per-cycle
+ *  cold simulation of the deduped union. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/snapshot_cache.hh"
+#include "region_jobs.hh"
+#include "sim/snapshot.hh"
+
+namespace remap
+{
+namespace
+{
+
+using harness::RegionJob;
+using harness::SnapshotCache;
+using workloads::RunSpec;
+using workloads::Variant;
+
+/** Everything a run determines, captured for exact comparison. */
+struct Probe
+{
+    Cycle cycles = 0;
+    bool timedOut = false;
+    double work = 0.0;
+    double energyJ = 0.0;
+    std::string statsJson;
+    std::vector<std::uint8_t> snapshot;
+    std::string traceBytes; ///< empty when tracing was off
+};
+
+/** Build and run @p spec with the scheduler mode selected by
+ *  @p leap (REMAP_NO_LEAP is read at System construction), then
+ *  capture every observable the run produced. */
+Probe
+runProbe(const workloads::WorkloadInfo &info, const RunSpec &spec,
+         bool leap, const char *trace_path = nullptr,
+         Cycle trace_period = 0)
+{
+    if (!leap) {
+        EXPECT_EQ(setenv("REMAP_NO_LEAP", "1", 1), 0);
+    }
+    workloads::PreparedRun r = info.make(spec);
+    if (!leap) {
+        EXPECT_EQ(unsetenv("REMAP_NO_LEAP"), 0);
+    }
+
+    if (trace_path) {
+        EXPECT_TRUE(r.system->enableTracing(trace_path, trace_period));
+    }
+
+    const sys::RunResult res = r.run();
+    if (r.verify) {
+        EXPECT_TRUE(r.verify()) << "golden mismatch: " << r.name;
+    }
+
+    Probe p;
+    p.cycles = res.cycles;
+    p.timedOut = res.timedOut;
+    p.work = r.workUnits;
+    power::EnergyModel model;
+    p.energyJ = r.system->measureEnergy(model, res.cycles).totalJ();
+    std::ostringstream os;
+    r.system->dumpStatsJson(os);
+    p.statsJson = os.str();
+    snap::Serializer s;
+    r.system->save(s);
+    p.snapshot = s.buffer();
+    if (trace_path) {
+        r.system->disableTracing();
+        std::ifstream in(trace_path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        p.traceBytes = buf.str();
+        std::remove(trace_path);
+    }
+    return p;
+}
+
+void
+expectIdentical(const Probe &leap, const Probe &ref)
+{
+    EXPECT_EQ(leap.cycles, ref.cycles);
+    EXPECT_EQ(leap.timedOut, ref.timedOut);
+    EXPECT_EQ(leap.work, ref.work);
+    EXPECT_EQ(leap.energyJ, ref.energyJ);
+    EXPECT_EQ(leap.statsJson, ref.statsJson);
+    EXPECT_EQ(leap.snapshot, ref.snapshot);
+    EXPECT_EQ(leap.traceBytes, ref.traceBytes);
+}
+
+/** Jobs already verified in this process (region sets overlap
+ *  heavily between figures; each unique job is proven once). */
+std::set<std::string> &
+covered()
+{
+    static std::set<std::string> keys;
+    return keys;
+}
+
+void
+leapDiffJobs(const std::vector<RegionJob> &jobs)
+{
+    for (const RegionJob &job : jobs) {
+        const std::string key = SnapshotCache::makeKey(
+            job.info->name, job.spec, /*config_hash=*/0);
+        if (!covered().insert(key).second)
+            continue;
+        SCOPED_TRACE(key);
+        const Probe with_leap =
+            runProbe(*job.info, job.spec, /*leap=*/true);
+        const Probe reference =
+            runProbe(*job.info, job.spec, /*leap=*/false);
+        expectIdentical(with_leap, reference);
+    }
+}
+
+TEST(LeapDifferential, Fig8To11VariantSets)
+{
+    leapDiffJobs(testjobs::fig8To11Jobs());
+}
+
+TEST(LeapDifferential, Fig12BarrierSweeps)
+{
+    leapDiffJobs(testjobs::fig12Jobs());
+}
+
+TEST(LeapDifferential, Fig13BarrierCompSweeps)
+{
+    leapDiffJobs(testjobs::fig13Jobs());
+}
+
+TEST(LeapDifferential, Fig14EdSweeps)
+{
+    // fig14's regions are fig12's (ED is derived data); the dedup
+    // set makes this pass nearly free while documenting coverage.
+    leapDiffJobs(testjobs::fig12Jobs());
+}
+
+TEST(LeapDifferential, TracedRunsAreByteIdentical)
+{
+    // Tracing must not perturb (or be perturbed by) leaping: with a
+    // counter-sample period the leap clamps to every sample cycle,
+    // and stall spans are emitted at their per-cycle start/length.
+    const auto &info = workloads::byName("ll3");
+    RunSpec spec;
+    spec.variant = Variant::HwBarrierComp;
+    spec.problemSize = 128;
+    spec.threads = 8;
+
+    const Probe with_leap = runProbe(
+        info, spec, /*leap=*/true, "/tmp/remap_leapdiff_a.json", 500);
+    const Probe reference = runProbe(
+        info, spec, /*leap=*/false, "/tmp/remap_leapdiff_b.json", 500);
+    ASSERT_FALSE(with_leap.traceBytes.empty());
+    expectIdentical(with_leap, reference);
+}
+
+TEST(LeapDifferential, WarmStartedRunsAreBitIdentical)
+{
+    // Snapshots taken by a leaping run restore into runs that still
+    // match the per-cycle reference end to end: leaps never cross a
+    // snapshot boundary's observable state.
+    auto &cache = SnapshotCache::instance();
+    cache.setEnabled(true);
+    cache.clear();
+    cache.setFirstBoundary(2048);
+
+    power::EnergyModel model;
+    const auto &info = workloads::byName("ll2");
+    RunSpec spec;
+    spec.variant = Variant::HwBarrier;
+    spec.problemSize = 64;
+    spec.threads = 8;
+
+    const auto cold = harness::runRegion(info, spec, model);
+    const auto warm = harness::runRegion(info, spec, model);
+    ASSERT_TRUE(warm.warmStarted);
+
+    cache.setEnabled(false);
+    ASSERT_EQ(setenv("REMAP_NO_LEAP", "1", 1), 0);
+    const auto reference = harness::runRegion(info, spec, model);
+    ASSERT_EQ(unsetenv("REMAP_NO_LEAP"), 0);
+
+    EXPECT_EQ(cold.cycles, reference.cycles);
+    EXPECT_EQ(cold.energyJ, reference.energyJ);
+    EXPECT_EQ(warm.cycles, reference.cycles);
+    EXPECT_EQ(warm.energyJ, reference.energyJ);
+    EXPECT_EQ(warm.work, reference.work);
+
+    cache.clear();
+    cache.setFirstBoundary(16384);
+}
+
+} // namespace
+} // namespace remap

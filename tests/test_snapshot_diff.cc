@@ -14,8 +14,8 @@
 #include <set>
 
 #include "harness/experiment.hh"
-#include "harness/parallel.hh"
 #include "harness/snapshot_cache.hh"
+#include "region_jobs.hh"
 
 namespace remap
 {
@@ -24,7 +24,6 @@ namespace
 
 using harness::RegionJob;
 using harness::SnapshotCache;
-using workloads::Mode;
 using workloads::RunSpec;
 using workloads::Variant;
 
@@ -90,113 +89,19 @@ diffJobs(const std::vector<RegionJob> &jobs)
     cache.setEnabled(true);
 }
 
-/** The exact variant list runVariantSet simulates for @p info
- *  (fig8-fig11 go through runVariantSetsParallel with defaults:
- *  no SwQueue, 4 compute copies). */
-std::vector<RegionJob>
-variantSetJobs(const workloads::WorkloadInfo &info)
-{
-    std::vector<RegionJob> jobs;
-    RunSpec spec;
-    for (Variant v : {Variant::Seq, Variant::SeqOoo2, Variant::Comp}) {
-        spec.variant = v;
-        spec.copies =
-            v == Variant::Comp && info.mode == Mode::ComputeOnly ? 4
-                                                                 : 1;
-        jobs.push_back(RegionJob{&info, spec});
-    }
-    spec.copies = 1;
-    if (info.mode == Mode::CommComp) {
-        for (Variant v :
-             {Variant::Comm, Variant::CompComm, Variant::Ooo2Comm}) {
-            spec.variant = v;
-            jobs.push_back(RegionJob{&info, spec});
-        }
-    }
-    return jobs;
-}
-
-/** One fig12/fig14-style sweep series for @p name. */
-std::vector<RegionJob>
-barrierSweepJobs(const char *name, const std::vector<unsigned> &sizes,
-                 bool with_comp)
-{
-    const auto &info = workloads::byName(name);
-    std::vector<std::pair<Variant, unsigned>> series = {
-        {Variant::Seq, 1},
-        {Variant::SwBarrier, 8},
-        {Variant::SwBarrier, 16},
-        {Variant::HwBarrier, 8},
-        {Variant::HwBarrier, 16}};
-    if (with_comp) {
-        series.emplace_back(Variant::HwBarrierComp, 8);
-        series.emplace_back(Variant::HwBarrierComp, 16);
-    }
-    std::vector<RegionJob> jobs;
-    for (unsigned size : sizes) {
-        for (auto [v, p] : series) {
-            RunSpec spec;
-            spec.variant = v;
-            spec.problemSize = size;
-            spec.threads = p;
-            jobs.push_back(RegionJob{&info, spec});
-        }
-    }
-    return jobs;
-}
-
 TEST(SnapshotDifferential, Fig8ToFig11VariantSets)
 {
-    // fig8/fig9/fig10/fig11 all simulate the same region set: the
-    // full variant set of every non-barrier workload.
-    std::vector<RegionJob> jobs;
-    for (const auto &w : workloads::registry()) {
-        if (w.mode == Mode::Barrier)
-            continue;
-        auto set = variantSetJobs(w);
-        jobs.insert(jobs.end(), set.begin(), set.end());
-    }
-    diffJobs(jobs);
+    diffJobs(testjobs::fig8To11Jobs());
 }
 
 TEST(SnapshotDifferential, Fig12BarrierSweeps)
 {
-    std::vector<RegionJob> jobs;
-    for (const auto &[name, sizes, comp] :
-         {std::tuple<const char *, std::vector<unsigned>, bool>{
-              "ll2", {8, 16, 32, 64, 128, 256, 512}, false},
-          {"ll6", {8, 16, 32, 64, 128, 256}, false},
-          {"ll3", {32, 64, 128, 256, 512, 1024}, true},
-          {"dijkstra", {32, 64, 96, 128, 160, 192}, true}}) {
-        auto sweep = barrierSweepJobs(name, sizes, comp);
-        jobs.insert(jobs.end(), sweep.begin(), sweep.end());
-    }
-    diffJobs(jobs);
+    diffJobs(testjobs::fig12Jobs());
 }
 
 TEST(SnapshotDifferential, Fig13BarrierCompSweeps)
 {
-    // fig13 adds the p2/p4 thread counts over fig12's regions.
-    std::vector<RegionJob> jobs;
-    for (const auto &[name, sizes] :
-         {std::pair<const char *, std::vector<unsigned>>{
-              "ll3", {32, 64, 128, 256, 512, 1024}},
-          {"dijkstra", {32, 64, 96, 128, 160, 192}}}) {
-        const auto &info = workloads::byName(name);
-        for (unsigned size : sizes) {
-            for (unsigned p : {2u, 4u, 8u, 16u}) {
-                for (Variant v :
-                     {Variant::HwBarrier, Variant::HwBarrierComp}) {
-                    RunSpec spec;
-                    spec.variant = v;
-                    spec.problemSize = size;
-                    spec.threads = p;
-                    jobs.push_back(RegionJob{&info, spec});
-                }
-            }
-        }
-    }
-    diffJobs(jobs);
+    diffJobs(testjobs::fig13Jobs());
 }
 
 TEST(SnapshotDifferential, Fig14EdSweeps)
@@ -204,17 +109,7 @@ TEST(SnapshotDifferential, Fig14EdSweeps)
     // fig14's regions are a subset of fig12's (same sweeps, Seq
     // baseline shared per size); enumerating them here documents the
     // coverage — the dedup set makes this pass nearly free.
-    std::vector<RegionJob> jobs;
-    for (const auto &[name, sizes, comp] :
-         {std::tuple<const char *, std::vector<unsigned>, bool>{
-              "ll2", {8, 16, 32, 64, 128, 256, 512}, false},
-          {"ll6", {8, 16, 32, 64, 128, 256}, false},
-          {"ll3", {32, 64, 128, 256, 512, 1024}, true},
-          {"dijkstra", {32, 64, 96, 128, 160, 192}, true}}) {
-        auto sweep = barrierSweepJobs(name, sizes, comp);
-        jobs.insert(jobs.end(), sweep.begin(), sweep.end());
-    }
-    diffJobs(jobs);
+    diffJobs(testjobs::fig12Jobs());
 }
 
 TEST(SnapshotDifferential, TracedRunsBypassTheCacheUnchanged)

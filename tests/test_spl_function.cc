@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <random>
+
 #include "spl/function.hh"
 #include "workloads/spl_functions.hh"
 
@@ -191,6 +194,130 @@ TEST(Functions, QuantumGateFlipsOnlyWhenControlled)
     EXPECT_EQ(f.evaluate({0x12})[0], 0x52);
     EXPECT_EQ(f.evaluate({0x10})[0], 0x10);
     EXPECT_EQ(f.evaluate({0x53})[0], 0x13);
+}
+
+// ---------------------------------------------------------------- //
+// Randomized differential tests: the compiled (flattened, two-bank)
+// interpreter against the row-by-row reference implementation that
+// is kept verbatim as evaluateNaive/evaluateReduceNaive.
+// ---------------------------------------------------------------- //
+
+/** All word ops the fuzzer draws from (every WOp value). */
+const WOp kAllOps[] = {
+    WOp::Add,    WOp::Sub,    WOp::AddImm,   WOp::Min,
+    WOp::Max,    WOp::MinImm, WOp::MaxImm,   WOp::And,
+    WOp::AndImm, WOp::Or,     WOp::Xor,      WOp::ShlImm,
+    WOp::ShrImm, WOp::SraImm, WOp::ShlVar,   WOp::ShrVar,
+    WOp::Mov,    WOp::MovImm, WOp::CmpGe,    WOp::CmpEq,
+    WOp::CmpGeImm, WOp::CmpEqImm, WOp::Sel,  WOp::Lut8,
+    WOp::Abs,    WOp::Mul,    WOp::SadB4,
+};
+
+/** Build a random row program over registers [0, 16) with a random
+ *  Lut8 table. With @p reduce_words > 0 the program is a reduce
+ *  combiner over 2*reduce_words input words. */
+SplFunction
+randomFunction(std::mt19937 &rng, unsigned reduce_words = 0)
+{
+    auto pick = [&rng](unsigned bound) {
+        return static_cast<unsigned>(rng() % bound);
+    };
+    const unsigned num_inputs =
+        reduce_words > 0 ? 2 * reduce_words : 1 + pick(8);
+    FunctionBuilder b("fuzz", num_inputs);
+    if (reduce_words > 0)
+        b.markReduce();
+
+    std::vector<std::int32_t> lut(256);
+    for (auto &v : lut)
+        v = static_cast<std::int32_t>(rng());
+    b.lut(std::move(lut));
+
+    const unsigned rows = 1 + pick(6);
+    for (unsigned r = 0; r < rows; ++r) {
+        b.row();
+        const unsigned ops = 1 + pick(Row::maxWordOpsPerRow);
+        for (unsigned o = 0; o < ops; ++o) {
+            const WOp op = kAllOps[pick(std::size(kAllOps))];
+            b.op(op, static_cast<std::uint8_t>(pick(16)),
+                 static_cast<std::uint8_t>(pick(16)),
+                 static_cast<std::uint8_t>(pick(16)),
+                 static_cast<std::int32_t>(rng()));
+        }
+    }
+
+    const unsigned out_words =
+        reduce_words > 0 ? reduce_words + pick(3) : 1 + pick(4);
+    std::vector<std::uint8_t> outs;
+    for (unsigned i = 0; i < out_words; ++i)
+        outs.push_back(static_cast<std::uint8_t>(pick(16)));
+    return b.outputs(std::move(outs)).build();
+}
+
+TEST(FlattenedInterpreterFuzz, EvaluateMatchesNaive)
+{
+    std::mt19937 rng(0xC0FFEE);
+    for (int iter = 0; iter < 500; ++iter) {
+        SplFunction fn = randomFunction(rng);
+        // Input lengths sweep short (zero-filled tail), exact and
+        // long (trailing words a program never reads).
+        std::vector<std::int32_t> in(rng() % 13);
+        for (auto &v : in)
+            v = static_cast<std::int32_t>(rng());
+        ASSERT_EQ(fn.evaluate(in), fn.evaluateNaive(in))
+            << "iteration " << iter;
+    }
+}
+
+TEST(FlattenedInterpreterFuzz, ReduceMatchesNaive)
+{
+    std::mt19937 rng(0xBADF00D);
+    for (int iter = 0; iter < 300; ++iter) {
+        const unsigned words = 1 + rng() % 4;
+        SplFunction fn = randomFunction(rng, words);
+        // Odd and even participant counts, including the 1- and
+        // 2-participant edge cases and 3 (odd carry at the root).
+        const unsigned participants = 1 + rng() % 16;
+        std::vector<std::vector<std::int32_t>> inputs(participants);
+        for (auto &p : inputs) {
+            p.resize(words);
+            for (auto &v : p)
+                v = static_cast<std::int32_t>(rng());
+        }
+        ASSERT_EQ(fn.evaluateReduce(inputs),
+                  fn.evaluateReduceNaive(inputs))
+            << "iteration " << iter << ", " << participants
+            << " participants x " << words << " words";
+    }
+}
+
+TEST(FlattenedInterpreterFuzz, CanonicalFunctionsMatchNaive)
+{
+    std::mt19937 rng(0x5EED);
+    std::vector<SplFunction> fns;
+    fns.push_back(functions::passthrough(4));
+    fns.push_back(functions::hmmerMc(-987654321));
+    for (const SplFunction &fn : fns) {
+        for (int iter = 0; iter < 50; ++iter) {
+            std::vector<std::int32_t> in(fn.numInputWords());
+            for (auto &v : in)
+                v = static_cast<std::int32_t>(rng());
+            ASSERT_EQ(fn.evaluate(in), fn.evaluateNaive(in));
+        }
+    }
+    for (const SplFunction &fn :
+         {functions::globalMin(), functions::globalMax(),
+          functions::globalSum()}) {
+        for (unsigned participants = 1; participants <= 9;
+             ++participants) {
+            std::vector<std::vector<std::int32_t>> inputs(
+                participants);
+            for (auto &p : inputs)
+                p = {static_cast<std::int32_t>(rng())};
+            ASSERT_EQ(fn.evaluateReduce(inputs),
+                      fn.evaluateReduceNaive(inputs));
+        }
+    }
 }
 
 } // namespace

@@ -9,8 +9,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/system.hh"
@@ -549,6 +551,65 @@ TEST(SystemTrace, MigrationEmitsMatchedFlowEvents)
     // The flow spans the drain + 500-cycle switch.
     EXPECT_GE(end_ts, begin_ts + 500);
     std::remove(path.c_str());
+}
+
+TEST(SystemTrace, LeapClampsToSamplePeriod)
+{
+    // Regression test for the sampler/fast-forward interaction: a
+    // thread that halts long before a far-future migration leaves the
+    // system with nothing to tick, so the event-horizon leap targets
+    // the migration wake-up tens of thousands of cycles away. With
+    // periodic counter sampling enabled the leap must clamp to every
+    // sample cycle; before the clamp, the idle fast-forward jumped
+    // cycle_ straight past nextSample_ and silently dropped samples.
+    const Cycle kMigrateAt = 50'000;
+    const Cycle kPeriod = 100;
+    auto run_one = [&](bool leap, const std::string &path) {
+        if (!leap) {
+            EXPECT_EQ(setenv("REMAP_NO_LEAP", "1", 1), 0);
+        }
+        sys::System sys(sys::SystemConfig::ooo1Cluster(2));
+        if (!leap) {
+            EXPECT_EQ(unsetenv("REMAP_NO_LEAP"), 0);
+        }
+        auto prog = sumLoop(200, 0x1000);
+        auto &t = sys.createThread(&prog);
+        sys.mapThread(t.id, 0);
+        sys.scheduleMigration(t.id, 1, kMigrateAt);
+        EXPECT_TRUE(sys.enableTracing(path, kPeriod));
+        auto r = sys.run(10'000'000);
+        EXPECT_FALSE(r.timedOut);
+        EXPECT_EQ(sys.migrationsCompleted.value(), 1u);
+        sys.disableTracing();
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return std::pair<Cycle, std::string>{r.cycles, buf.str()};
+    };
+
+    const std::string path_a = tempPath("sys_leap_sampler_a.json");
+    const std::string path_b = tempPath("sys_leap_sampler_b.json");
+    const auto [leap_cycles, leap_bytes] = run_one(true, path_a);
+    const auto [ref_cycles, ref_bytes] = run_one(false, path_b);
+
+    // Byte-identical trace files: every periodic sample the per-cycle
+    // reference emits appears at the same cycle in the leaping run.
+    EXPECT_EQ(leap_cycles, ref_cycles);
+    EXPECT_EQ(leap_bytes, ref_bytes);
+
+    // And the samples really cover the idle window: the run spans the
+    // migration at 50k cycles, so ~500 sample points must be present.
+    JsonValue root = parseFile(path_a);
+    std::set<double> sample_ts;
+    for (const JsonValue &e : root.at("traceEvents").arr) {
+        if (e.at("ph").str == "C")
+            sample_ts.insert(e.at("ts").num);
+    }
+    EXPECT_GE(leap_cycles, kMigrateAt);
+    EXPECT_GE(sample_ts.size(),
+              static_cast<std::size_t>(kMigrateAt / kPeriod));
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
 }
 
 // ---------------------------------------------------------------- //
