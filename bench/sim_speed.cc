@@ -18,6 +18,7 @@
 #include <fstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/system.hh"
@@ -170,10 +171,14 @@ BM_SplFunctionEval(benchmark::State &state)
     auto fn = spl::functions::hmmerMc(-100000000);
     std::vector<std::int32_t> in = {10, 20, 5, 1, 50, -10, 7, 2,
                                     100};
+    std::uint64_t evals = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(fn.evaluate(in));
         in[0] ^= 1;
+        ++evals;
     }
+    state.counters["evals_per_s"] = benchmark::Counter(
+        static_cast<double>(evals), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SplFunctionEval);
 
@@ -373,6 +378,20 @@ class BaselineReporter : public benchmark::ConsoleReporter
             auto cycles = r.counters.find("sim_cycles_per_s");
             if (cycles != r.counters.end())
                 e.simCyclesPerS = cycles->second;
+            // Benchmarks that don't simulate whole systems report
+            // their own unit rates (accesses_per_s, fabric_ops_per_s,
+            // evals_per_s, ...): pass every other *_per_s counter
+            // through so no record is left without a tracked rate.
+            for (const auto &[name, counter] : r.counters) {
+                if (name == "sim_insts_per_s" ||
+                    name == "sim_cycles_per_s")
+                    continue;
+                const std::string suffix = "_per_s";
+                if (name.size() > suffix.size() &&
+                    name.compare(name.size() - suffix.size(),
+                                 suffix.size(), suffix) == 0)
+                    e.rates.emplace_back(name, double(counter));
+            }
             entries_.push_back(std::move(e));
         }
     }
@@ -412,6 +431,8 @@ class BaselineReporter : public benchmark::ConsoleReporter
                 w.kv("sim_cycles_per_s", e.simCyclesPerS);
             else
                 w.key("sim_cycles_per_s").nullValue();
+            for (const auto &[name, value] : e.rates)
+                w.kv(name, value);
             w.kv("wall_ms_per_iter", e.wallMs);
             w.endObject();
         }
@@ -428,6 +449,8 @@ class BaselineReporter : public benchmark::ConsoleReporter
         std::int64_t iterations = 0;
         double simInstsPerS = 0.0;
         double simCyclesPerS = 0.0;
+        /** Benchmark-specific unit rates (name ends in _per_s). */
+        std::vector<std::pair<std::string, double>> rates;
         double wallMs = 0.0;
     };
     std::vector<Entry> entries_;

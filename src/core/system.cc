@@ -833,6 +833,14 @@ System::restore(snap::Deserializer &d)
         if (cores_[c]->thread() == nullptr)
             cores_[c]->bindThread(&threads_[bound[c]]);
     }
+    // A core whose binding already matched is deliberately NOT
+    // rebound above, so bindThread()'s derived-state rebuild does not
+    // run for it. Every component is therefore responsible for
+    // refreshing its own derived fast-path state (the decoded
+    // basic-block table and readiness memos in Core::restore, the MRU
+    // way predictions in Cache::restore) — none of it is serialized,
+    // which keeps snapshots bit-identical across REMAP_NO_BLOCK_CACHE
+    // and REMAP_NO_MRU settings.
     for (auto &core : cores_) {
         core->restore(d);
         if (!d.ok())

@@ -1,6 +1,7 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -37,14 +38,6 @@ opLatency(isa::OpClass cls)
       case OpClass::Amo:      return 2; // overridden by cache access
     }
     return 1;
-}
-
-bool
-usesFpQueue(isa::OpClass cls)
-{
-    using isa::OpClass;
-    return cls == OpClass::FpAlu || cls == OpClass::FpMult ||
-           cls == OpClass::FpDiv;
 }
 
 /** Synthetic code-space base for a thread (outside workload data). */
@@ -87,6 +80,14 @@ OooCore::OooCore(CoreId id, const CoreParams &params,
       bpred_(params.bpred),
       statGroup_("core" + std::to_string(id) + "." + params.name)
 {
+    fb_.reset(params_.fetchBufferEntries);
+    rob_.reset(params_.robEntries);
+    // Kill switch for the decoded basic-block cache, fused fetch
+    // runs and the operand-readiness memo: read once per core, like
+    // REMAP_NO_LEAP in the System constructor, so a single process
+    // can construct reference and fast-path systems side by side.
+    blockCacheEnabled_ =
+        std::getenv("REMAP_NO_BLOCK_CACHE") == nullptr;
     statGroup_.addCounter("committed_insts", &committedInsts);
     statGroup_.addCounter("committed_int", &committedIntOps);
     statGroup_.addCounter("committed_fp", &committedFpOps);
@@ -150,8 +151,26 @@ OooCore::bindThread(ThreadContext *ctx)
     fetchHalted_ = ctx == nullptr || ctx->halted;
     fetchResumeCycle_ = 0;
     fetchBlockedOnSeq_ = 0;
+    wbSkip_ = 0;
+    issueSkip_ = 0;
     std::fill(std::begin(intProducer_), std::end(intProducer_), 0);
     std::fill(std::begin(fpProducer_), std::end(fpProducer_), 0);
+    rebuildDecoded();
+}
+
+void
+OooCore::rebuildDecoded()
+{
+    // Rebuild unconditionally rather than keying on the program
+    // pointer: a rebuild is O(program size) and only happens at
+    // bind/restore points, and never trusting a stale pointer rules
+    // out aliasing against a recycled Program allocation.
+    if (!blockCacheEnabled_ || !ctx_ || !ctx_->program) {
+        decodedFor_ = nullptr;
+        return;
+    }
+    decoded_.build(*ctx_->program);
+    decodedFor_ = ctx_->program;
 }
 
 bool
@@ -182,23 +201,42 @@ OooCore::producerOf(bool fp, isa::RegIndex r) const
 void
 OooCore::recordProducer(const DynInst &d)
 {
-    if (d.si->writesIntReg())
+    if (d.flags & isa::kWritesInt)
         intProducer_[d.si->rd] = d.seq;
-    else if (d.si->writesFpReg())
+    else if (d.flags & isa::kWritesFp)
         fpProducer_[d.si->rd] = d.seq;
 }
 
 bool
-OooCore::operandsReady(const DynInst &d, Cycle now) const
+OooCore::operandsReady(DynInst &d, Cycle now)
 {
+    // Memo fast path: readiness is monotone (a producer's stage only
+    // advances and its completeCycle is fixed once issued), so a
+    // cached lower bound on the first possibly-ready cycle is safe —
+    // before that cycle the walk below provably returns false.
+    // Gated with the block cache so REMAP_NO_BLOCK_CACHE=1 restores
+    // the pristine per-cycle producer walk.
+    if (blockCacheEnabled_ && now < d.notReadyUntil)
+        return false;
     for (std::uint64_t dep : {d.dep1, d.dep2}) {
         if (dep == 0)
             continue;
         const DynInst *p = findBySeq(dep);
         if (p && (p->stage != Stage::Completed ||
-                  p->completeCycle > now))
+                  p->completeCycle > now)) {
+            // An issued producer becomes consumable exactly at its
+            // completeCycle (writeback runs before issue each tick).
+            // An unissued one sits at or after this core's walk
+            // position (producers have lower seqs), so it issues at
+            // now + 1 at the earliest and, with the 1-cycle minimum
+            // op latency, cannot be consumable before now + 2.
+            d.notReadyUntil = p->stage == Stage::Issued
+                                  ? p->completeCycle
+                                  : now + 2;
             return false;
+        }
     }
+    d.notReadyUntil = 0;
     return true;
 }
 
@@ -456,19 +494,88 @@ OooCore::fetch(Cycle now)
     bool accessed_icache = false;
     bool icache_pure_hit = false;
 
-    for (unsigned n = 0; n < params_.fetchWidth; ++n) {
+    const isa::Instruction *code = ctx_->program->code.data();
+    // With the block cache on, fetch reads pre-decoded metadata and
+    // steps fused straight-line runs; with it off (or after a bind
+    // the table missed), every instruction is re-decoded on the spot
+    // through the same decodeOne(), so the two paths cannot disagree.
+    const isa::DecodedInst *table =
+        (blockCacheEnabled_ && decodedFor_ == ctx_->program)
+            ? decoded_.insts.data()
+            : nullptr;
+
+    unsigned n = 0;
+    while (n < params_.fetchWidth) {
         if (fb_.size() >= params_.fetchBufferEntries)
             break;
         REMAP_ASSERT(ctx_->pc < ctx_->program->code.size(),
                      "pc fell off the end of program '%s'",
                      ctx_->program->name.c_str());
-        const isa::Instruction &inst = ctx_->program->code[ctx_->pc];
+
+        // Fused run stepping: every instruction strictly before its
+        // run's terminator is *simple* — it falls through, cannot
+        // stall in funcExecute and needs no predictor or HALT
+        // handling — so fetch those with the minimal per-inst work.
+        // Kept off while a tracer is attached: the spl-stall span
+        // bookkeeping lives on the generic path below.
+        if (table && !tracer_) {
+            const std::uint32_t term = decoded_.runEnd[ctx_->pc] - 1;
+            while (ctx_->pc < term && n < params_.fetchWidth &&
+                   fb_.size() < params_.fetchBufferEntries) {
+                const std::uint32_t pc = ctx_->pc;
+                const isa::Instruction &inst = code[pc];
+                const isa::DecodedInst &dec = table[pc];
+
+                DynInst d;
+                d.si = &inst;
+                d.cls = dec.cls;
+                d.flags = dec.flags;
+                d.pcAddr = base + std::uint64_t(pc) * 8;
+                d.usesFpQueue =
+                    (dec.flags & isa::kUsesFpQueue) != 0;
+
+                if (!accessed_icache) {
+                    const std::uint64_t misses_before =
+                        mem_->l1iMisses(id_);
+                    icache_ready =
+                        mem_->access(id_, d.pcAddr,
+                                     mem::AccessKind::IFetch, now);
+                    accessed_icache = true;
+                    icache_pure_hit =
+                        mem_->l1iMisses(id_) == misses_before;
+                    if (!icache_pure_hit)
+                        tickProgress_ = true;
+                }
+
+                const bool ok = funcExecute(inst, d);
+                REMAP_ASSERT(ok,
+                             "simple instruction stalled in '%s'",
+                             ctx_->program->name.c_str());
+                d.seq = nextSeq_++;
+                d.fbReady = std::max(icache_ready, now + 1);
+                ++fetchedInsts;
+                tickProgress_ = true;
+                fb_.push_back(d);
+                ++n;
+            }
+            if (n >= params_.fetchWidth ||
+                fb_.size() >= params_.fetchBufferEntries)
+                break;
+        }
+
+        // Generic path: one instruction — the run terminator, or
+        // every instruction when the table is unavailable.
+        const std::uint32_t fetch_pc = ctx_->pc;
+        const isa::Instruction &inst = code[fetch_pc];
+        const isa::DecodedInst dec =
+            table ? table[fetch_pc] : isa::decodeOne(inst);
 
         DynInst d;
         d.si = &inst;
-        d.cls = inst.opClass();
-        d.pcAddr = base + std::uint64_t(ctx_->pc) * 8;
-        d.usesFpQueue = usesFpQueue(d.cls);
+        d.cls = dec.cls;
+        d.flags = dec.flags;
+        d.pcAddr = base + std::uint64_t(fetch_pc) * 8;
+        d.usesFpQueue = (dec.flags & isa::kUsesFpQueue) != 0;
 
         if (!accessed_icache) {
             const std::uint64_t misses_before =
@@ -486,7 +593,6 @@ OooCore::fetch(Cycle now)
                 tickProgress_ = true;
         }
 
-        const std::uint32_t prev_pc = ctx_->pc;
         if (!funcExecute(inst, d)) {
             ++splFetchStalls;
             stallMask_ |= kStallSplFetch;
@@ -502,15 +608,16 @@ OooCore::fetch(Cycle now)
         ++fetchedInsts;
         tickProgress_ = true;
         fb_.push_back(d);
+        ++n;
 
-        if (inst.isBranch()) {
-            const bool taken = (ctx_->pc != prev_pc + 1);
+        if (dec.flags & isa::kIsBranch) {
+            const bool taken = (ctx_->pc != fetch_pc + 1);
             const std::uint64_t target =
                 base + std::uint64_t(ctx_->pc) * 8;
             bool btb_hit = false;
             const bool pred = bpred_.predict(d.pcAddr, &btb_hit);
             bpred_.update(d.pcAddr, taken, target);
-            if (!inst.isJump() && pred != taken) {
+            if (!(dec.flags & isa::kIsJump) && pred != taken) {
                 fb_.back().mispredicted = true;
                 ++mispredicts;
                 fetchBlockedOnSeq_ = d.seq;
@@ -542,7 +649,6 @@ OooCore::dispatch(Cycle now)
             stallMask_ |= kStallRobFull;
             break;
         }
-        const isa::OpClass cls = d.cls;
         unsigned &queue_occ =
             d.usesFpQueue ? fpQueueOcc_ : intQueueOcc_;
         const unsigned queue_cap = d.usesFpQueue
@@ -553,11 +659,8 @@ OooCore::dispatch(Cycle now)
             stallMask_ |= kStallIqFull;
             break;
         }
-        const bool is_load = cls == isa::OpClass::Load ||
-                             cls == isa::OpClass::Amo ||
-                             cls == isa::OpClass::SplLoadMem;
-        const bool is_store = cls == isa::OpClass::Store ||
-                              cls == isa::OpClass::SplStoreMem;
+        const bool is_load = (d.flags & isa::kLsqLoad) != 0;
+        const bool is_store = (d.flags & isa::kLsqStore) != 0;
         if (is_load && loadQueueOcc_ >= params_.loadQueueEntries) {
             ++lsqFullStalls;
             stallMask_ |= kStallLsqFull;
@@ -572,13 +675,13 @@ OooCore::dispatch(Cycle now)
         // Rename: look up producers, then publish this instruction.
         d.dep1 = 0;
         d.dep2 = 0;
-        if (d.si->readsIntRs1())
+        if (d.flags & isa::kReadsIntRs1)
             d.dep1 = producerOf(false, d.si->rs1);
-        else if (d.si->readsFpRs1())
+        else if (d.flags & isa::kReadsFpRs1)
             d.dep1 = producerOf(true, d.si->rs1);
-        if (d.si->readsIntRs2())
+        if (d.flags & isa::kReadsIntRs2)
             d.dep2 = producerOf(false, d.si->rs2);
-        else if (d.si->readsFpRs2())
+        else if (d.flags & isa::kReadsFpRs2)
             d.dep2 = producerOf(true, d.si->rs2);
 
         d.stage = Stage::Dispatched;
@@ -610,17 +713,33 @@ OooCore::issue(Cycle now)
     bool saw_unissued_spl_store = false;
     bool saw_older_store_or_fence = false;
 
-    for (DynInst &d : rob_) {
+    // Advance the skip hint over newly skippable entries (see the
+    // member comment for why skippability is monotone), then walk
+    // only while Dispatched entries remain ahead: `remaining` is
+    // exactly the queue occupancy, and once the last Dispatched entry
+    // has been visited the rest of the walk could only have updated
+    // ordering flags nothing reads.
+    const std::size_t sz = rob_.size();
+    std::size_t i = issueSkip_;
+    while (i < sz) {
+        const DynInst &s = rob_[i];
+        if (s.stage == Stage::Completed ||
+            (s.stage == Stage::Issued &&
+             !(s.flags & isa::kStoreLike)))
+            ++i;
+        else
+            break;
+    }
+    issueSkip_ = i;
+    unsigned remaining = intQueueOcc_ + fpQueueOcc_;
+
+    for (; i < sz && remaining != 0; ++i) {
+        DynInst &d = rob_[i];
         if (issued >= params_.issueWidth)
             break;
         const isa::OpClass cls = d.cls;
-        const bool is_store_like =
-            cls == isa::OpClass::Store || cls == isa::OpClass::Amo ||
-            cls == isa::OpClass::Fence ||
-            cls == isa::OpClass::SplStoreMem;
-
-        const bool is_spl_pop = cls == isa::OpClass::SplStore ||
-                                cls == isa::OpClass::SplStoreMem;
+        const bool is_store_like = (d.flags & isa::kStoreLike) != 0;
+        const bool is_spl_pop = (d.flags & isa::kSplPop) != 0;
 
         if (d.stage != Stage::Dispatched) {
             if (is_store_like && d.stage != Stage::Completed)
@@ -629,6 +748,7 @@ OooCore::issue(Cycle now)
                 saw_unissued_spl_store = true;
             continue;
         }
+        --remaining;
 
         if (!operandsReady(d, now)) {
             if (is_store_like)
@@ -699,9 +819,7 @@ OooCore::issue(Cycle now)
             for (const DynInst &s : rob_) {
                 if (s.seq >= d.seq)
                     break;
-                if (s.cls != isa::OpClass::Store &&
-                    s.cls != isa::OpClass::Amo &&
-                    s.cls != isa::OpClass::SplStoreMem)
+                if (!(s.flags & isa::kMemWrite))
                     continue;
                 const bool overlap =
                     s.memAddr < d.memAddr + d.memLen &&
@@ -764,6 +882,7 @@ OooCore::issue(Cycle now)
 
         d.stage = Stage::Issued;
         d.completeCycle = complete;
+        minIssuedComplete_ = std::min(minIssuedComplete_, complete);
         tickProgress_ = true;
         ++issuedOcc_;
         if (d.usesFpQueue)
@@ -777,10 +896,27 @@ OooCore::issue(Cycle now)
 void
 OooCore::writeback(Cycle now)
 {
-    if (issuedOcc_ == 0)
+    // minIssuedComplete_ is the exact minimum completeCycle over
+    // Issued entries, so when it lies in the future the walk below
+    // would transition nothing — skip it. The walk recomputes the
+    // minimum over the entries it leaves Issued.
+    if (issuedOcc_ == 0 || minIssuedComplete_ > now)
         return;
-    for (DynInst &d : rob_) {
-        if (d.stage == Stage::Issued && d.completeCycle <= now) {
+    Cycle new_min = neverCycle;
+    // Leading Completed entries have nothing left to write back —
+    // skip them via the monotone hint, and stop as soon as the last
+    // Issued entry (counted exactly by issuedOcc_) has been seen.
+    const std::size_t sz = rob_.size();
+    std::size_t i = wbSkip_;
+    while (i < sz && rob_[i].stage == Stage::Completed)
+        ++i;
+    wbSkip_ = i;
+    unsigned remaining = issuedOcc_;
+    for (; i < sz; ++i) {
+        DynInst &d = rob_[i];
+        if (d.stage != Stage::Issued)
+            continue;
+        if (d.completeCycle <= now) {
             d.stage = Stage::Completed;
             --issuedOcc_;
             tickProgress_ = true;
@@ -790,13 +926,19 @@ OooCore::writeback(Cycle now)
                     fetchResumeCycle_,
                     d.completeCycle + params_.redirectPenalty);
             }
+        } else {
+            new_min = std::min(new_min, d.completeCycle);
         }
+        if (--remaining == 0)
+            break;
     }
+    minIssuedComplete_ = new_min;
 }
 
 void
 OooCore::commit(Cycle now)
 {
+    std::size_t pops = 0;
     for (unsigned n = 0; n < params_.retireWidth && !rob_.empty();
          ++n) {
         DynInst &d = rob_.front();
@@ -924,8 +1066,13 @@ OooCore::commit(Cycle now)
         }
         tickProgress_ = true;
         rob_.pop_front();
+        ++pops;
     }
-  commit_stalled:;
+  commit_stalled:
+    // Keep the walk-skip hints pointing at the same entries now that
+    // the ROB head has moved.
+    wbSkip_ -= std::min(wbSkip_, pops);
+    issueSkip_ -= std::min(issueSkip_, pops);
 }
 
 void
@@ -963,10 +1110,11 @@ OooCore::nextEventCycle(Cycle now) const
     consider(storeBufferDrainCycle_);
     if (!fb_.empty())
         consider(fb_.front().fbReady);
-    for (const DynInst &d : rob_) {
-        if (d.stage == Stage::Issued)
-            consider(d.completeCycle);
-    }
+    // Exact minimum over Issued completions (maintained by issue/
+    // writeback), equal to what walking the ROB would find: after a
+    // quiet tick every Issued completion is > now, so the minimum is
+    // the only one that can win.
+    consider(minIssuedComplete_);
     if (spl_)
         consider(spl_->outputHeadReadyCycle(splSlot_));
     return next;
@@ -1089,10 +1237,14 @@ OooCore::restore(snap::Deserializer &d)
         return;
     }
 
-    auto restore_insts = [&](std::deque<DynInst> &q,
+    auto restore_insts = [&](BoundedRing<DynInst> &q,
                              std::size_t elem_bytes) {
         q.clear();
         const std::uint32_t n = d.count(elem_bytes);
+        if (n > q.capacity()) {
+            d.fail("pipeline queue exceeds configured capacity");
+            return;
+        }
         for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
             DynInst di;
             const std::uint32_t si_idx = d.u32();
@@ -1102,7 +1254,13 @@ OooCore::restore(snap::Deserializer &d)
                     return;
                 }
                 di.si = &ctx_->program->code[si_idx];
-                di.cls = di.si->opClass();
+                // Derived decode metadata is rebuilt, not restored;
+                // decodeOne() is the same function the fetch paths
+                // use, so restored entries match freshly fetched
+                // ones bit for bit.
+                const isa::DecodedInst dec = isa::decodeOne(*di.si);
+                di.cls = dec.cls;
+                di.flags = dec.flags;
             }
             di.seq = d.u64();
             di.pcAddr = d.u64();
@@ -1134,9 +1292,16 @@ OooCore::restore(snap::Deserializer &d)
     if (!d.ok())
         return;
     issuedOcc_ = 0;
-    for (const DynInst &di : rob_)
-        if (di.stage == Stage::Issued)
+    minIssuedComplete_ = neverCycle;
+    wbSkip_ = 0;
+    issueSkip_ = 0;
+    for (const DynInst &di : rob_) {
+        if (di.stage == Stage::Issued) {
             ++issuedOcc_;
+            minIssuedComplete_ =
+                std::min(minIssuedComplete_, di.completeCycle);
+        }
+    }
 
     nextSeq_ = d.u64();
     for (std::uint64_t &p : intProducer_)
@@ -1157,6 +1322,11 @@ OooCore::restore(snap::Deserializer &d)
 
     bpred_.restore(d);
     statGroup_.restore(d);
+
+    // System::restore only rebinds threads when the binding changed,
+    // so the decoded-program table must be refreshed here as well —
+    // a restored core may run immediately without a bindThread().
+    rebuildDecoded();
 }
 
 } // namespace remap::cpu

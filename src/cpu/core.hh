@@ -30,15 +30,16 @@
 #define REMAP_CPU_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <ostream>
 #include <string>
 
 #include "cpu/bpred.hh"
 #include "cpu/thread.hh"
+#include "isa/decoded.hh"
 #include "isa/isa.hh"
 #include "mem/mem_system.hh"
 #include "mem/memory_image.hh"
+#include "sim/bounded_ring.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "spl/fabric.hh"
@@ -231,6 +232,9 @@ class OooCore
         /** Cached si->opClass(): derived, hot in every pipeline
          *  stage, recomputed (not serialized) on snapshot restore. */
         isa::OpClass cls = isa::OpClass::IntAlu;
+        /** Cached isa::decodeOne(*si).flags: derived like cls and
+         *  recomputed (not serialized) on snapshot restore. */
+        std::uint16_t flags = 0;
         std::uint64_t seq = 0;
         std::uint64_t pcAddr = 0;
         Stage stage = Stage::InBuffer;
@@ -245,6 +249,16 @@ class OooCore
         std::int64_t splLoadValue = 0; ///< word staged by spl_load
         bool mispredicted = false;
         bool usesFpQueue = false;
+        /**
+         * Operand-readiness memo: 0 = unknown (walk the producers),
+         * otherwise a proven lower bound on the first cycle the
+         * producers could all be complete, so issue() can skip the
+         * producer walk until then. Readiness is monotone (producers
+         * only ever advance and their completeCycle is fixed once
+         * issued), which makes the bound safe to cache. Derived,
+         * never serialized; reset on restore.
+         */
+        Cycle notReadyUntil = 0;
     };
 
     // Pipeline stages, processed commit-first each tick.
@@ -258,10 +272,15 @@ class OooCore
      *  fetch must stall (spl_store with no functional value yet). */
     bool funcExecute(const isa::Instruction &inst, DynInst &d);
 
-    /** True when @p d's producers have completed by @p now. */
-    bool operandsReady(const DynInst &d, Cycle now) const;
+    /** True when @p d's producers have completed by @p now; updates
+     *  the notReadyUntil memo on @p d. */
+    bool operandsReady(DynInst &d, Cycle now);
     /** Find an in-flight instruction by sequence number. */
     const DynInst *findBySeq(std::uint64_t seq) const;
+
+    /** Rebuild the per-core decoded-program table for the bound
+     *  thread's program (no-op when the block cache is disabled). */
+    void rebuildDecoded();
 
     /** Record @p d as the latest producer of its destination. */
     void recordProducer(const DynInst &d);
@@ -277,8 +296,11 @@ class OooCore
     BranchPredictor bpred_;
     ThreadContext *ctx_ = nullptr;
 
-    std::deque<DynInst> fb_;   ///< fetch buffer
-    std::deque<DynInst> rob_;  ///< reorder buffer (window)
+    /** Fetch buffer and ROB: fixed-capacity rings over slot pools
+     *  sized once from the Table II bounds (fetchBufferEntries /
+     *  robEntries), so the steady-state pipeline never allocates. */
+    BoundedRing<DynInst> fb_;
+    BoundedRing<DynInst> rob_;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t intProducer_[isa::numIntRegs] = {};
     std::uint64_t fpProducer_[isa::numFpRegs] = {};
@@ -291,6 +313,41 @@ class OooCore
      *  not serialized). Lets writeback() skip the ROB walk when no
      *  completion is possible. */
     unsigned issuedOcc_ = 0;
+    /** Exact minimum completeCycle over Stage::Issued ROB entries
+     *  (neverCycle when none). Maintained by issue()/writeback(),
+     *  recomputed on restore; lets writeback() and nextEventCycle()
+     *  skip the ROB walk. Derived, not serialized. */
+    Cycle minIssuedComplete_ = neverCycle;
+    /**
+     * Monotone walk-skip hints: counts of leading rob_ entries each
+     * per-tick walk can provably ignore. Skippability never regresses
+     * (stages only advance Dispatched -> Issued -> Completed and an
+     * entry's flags are fixed), so the hints only need lazy forward
+     * advancement plus a saturating decrement when commit() pops.
+     * Behaviour-identical whether or not the hints have caught up —
+     * they are lower bounds, never assumptions. Derived, reset on
+     * restore, not serialized.
+     *
+     * wbSkip_:    leading entries with stage == Completed; writeback
+     *             has nothing to do with them.
+     * issueSkip_: leading entries that are Completed, or Issued and
+     *             not store-like. Such entries can no longer issue
+     *             and contribute nothing to issue()'s older-store /
+     *             unissued-spl ordering flags (a Completed store-like
+     *             entry never sets them; an Issued non-store-like
+     *             entry never did).
+     */
+    std::size_t wbSkip_ = 0;
+    std::size_t issueSkip_ = 0;
+
+    /** @{ @name Decoded basic-block cache (derived, not snapshotted;
+     * rebuilt by bindThread()/restore(). `decoded_` is a pure
+     * function of the immutable bound Program — see isa/decoded.hh —
+     * so it needs no invalidation between those points). */
+    bool blockCacheEnabled_ = true; ///< !REMAP_NO_BLOCK_CACHE
+    const isa::Program *decodedFor_ = nullptr;
+    isa::DecodedProgram decoded_;
+    /** @} */
 
     Cycle fetchResumeCycle_ = 0;
     std::uint64_t fetchBlockedOnSeq_ = 0; ///< unresolved mispredict

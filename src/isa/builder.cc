@@ -200,6 +200,16 @@ ProgramBuilder::build()
         if (it == labels_.end())
             REMAP_FATAL("undefined label '%s' in program '%s'",
                         l.c_str(), name_.c_str());
+        // Targets must be executable instruction indices: the
+        // decoded-run tables (isa/decoded.hh) and the fetch/interp
+        // pc-bound asserts all assume a resolved target lands on a
+        // real instruction, so catch a label placed after the last
+        // emitted instruction here rather than mid-simulation.
+        if (it->second >= code_.size())
+            REMAP_FATAL("label '%s' in program '%s' resolves past "
+                        "the last instruction (index %u of %zu)",
+                        l.c_str(), name_.c_str(), it->second,
+                        code_.size());
         code_[idx].target = it->second;
     }
     Program p;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "isa/decoded.hh"
 #include "sim/logging.hh"
 
 namespace remap::isa
@@ -14,6 +15,12 @@ interpret(const Program &prog, mem::MemoryImage &mem,
     InterpResult r;
     std::uint32_t pc = 0;
 
+    // Decode once; the main loop then steps through straight-line
+    // runs with no per-instruction pc-bound, step-budget or
+    // control-flow checks (see DecodedProgram).
+    DecodedProgram dec;
+    dec.build(prog);
+
     auto rd_int = [&](RegIndex x) -> std::int64_t {
         return x == 0 ? 0 : r.intRegs[x];
     };
@@ -22,17 +29,16 @@ interpret(const Program &prog, mem::MemoryImage &mem,
             r.intRegs[x] = v;
     };
 
-    while (r.instructions < max_steps) {
-        REMAP_ASSERT(pc < prog.code.size(),
-                     "interpreter pc out of range in '%s'",
-                     prog.name.c_str());
-        const Instruction &i = prog.code[pc];
-        ++r.instructions;
+    // Execute one instruction; returns the successor pc. The single
+    // switch is shared by the fused-run body and the run terminator,
+    // so block stepping cannot change any instruction's semantics.
+    auto step = [&](const Instruction &i,
+                    std::uint32_t cur) -> std::uint32_t {
         const std::int64_t a = rd_int(i.rs1);
         const std::int64_t b = rd_int(i.rs2);
         const double fa = r.fpRegs[i.rs1];
         const double fb = r.fpRegs[i.rs2];
-        std::uint32_t next = pc + 1;
+        std::uint32_t next = cur + 1;
 
         switch (i.op) {
           case Opcode::ADD: wr_int(i.rd, a + b); break;
@@ -163,8 +169,37 @@ interpret(const Program &prog, mem::MemoryImage &mem,
                         "'%s'", prog.name.c_str());
           case Opcode::HALT:
             r.halted = true;
-            return r;
+            break;
         }
+        return next;
+    };
+
+    while (r.instructions < max_steps) {
+        REMAP_ASSERT(pc < prog.code.size(),
+                     "interpreter pc out of range in '%s'",
+                     prog.name.c_str());
+        // Clamp the run to the remaining step budget; a clamped run
+        // never reaches its terminator, so every executed
+        // instruction stays simple.
+        std::uint32_t end = dec.runEnd[pc];
+        const std::uint64_t budget = max_steps - r.instructions;
+        if (end - pc > budget)
+            end = pc + static_cast<std::uint32_t>(budget);
+
+        // Fused run body: everything in [pc, end - 1) is known to
+        // fall through, so pc just increments.
+        while (pc + 1 < end) {
+            step(prog.code[pc], pc);
+            ++r.instructions;
+            ++pc;
+        }
+
+        // The terminator (or last budgeted instruction) takes the
+        // full control-flow path.
+        const std::uint32_t next = step(prog.code[pc], pc);
+        ++r.instructions;
+        if (r.halted)
+            return r;
         pc = next;
     }
     return r;

@@ -1,5 +1,8 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "sim/logging.hh"
 
 namespace remap::mem
@@ -17,6 +20,10 @@ Cache::Cache(const CacheParams &params)
     numSets_ = num_lines / params_.assoc;
     lineMask_ = params_.lineBytes - 1;
     lines_.resize(num_lines);
+    REMAP_ASSERT(params_.assoc <= 256,
+                 "associativity exceeds the MRU way table width");
+    mruWay_.assign(numSets_, 0);
+    mruEnabled_ = std::getenv("REMAP_NO_MRU") == nullptr;
 
     statGroup_.addCounter("hits", &hits);
     statGroup_.addCounter("misses", &misses);
@@ -36,11 +43,26 @@ Cache::Line *
 Cache::lookup(Addr addr)
 {
     Addr tag = lineAddr(addr);
-    std::size_t base = setIndex(addr) * params_.assoc;
+    std::size_t set = setIndex(addr);
+    std::size_t base = set * params_.assoc;
+
+    // MRU way prediction: repeated hits on the same hot line skip
+    // the set walk. The prediction is verified (tag + valid state),
+    // and a predicted hit performs exactly the walk's hit actions,
+    // so results and LRU bookkeeping are identical either way.
+    if (mruEnabled_) {
+        Line &pred = lines_[base + mruWay_[set]];
+        if (pred.state != Mesi::Invalid && pred.tag == tag) {
+            pred.lruStamp = ++lruClock_;
+            return &pred;
+        }
+    }
+
     for (unsigned w = 0; w < params_.assoc; ++w) {
         Line &line = lines_[base + w];
         if (line.state != Mesi::Invalid && line.tag == tag) {
             line.lruStamp = ++lruClock_;
+            mruWay_[set] = static_cast<std::uint8_t>(w);
             return &line;
         }
     }
@@ -104,6 +126,8 @@ Cache::allocate(Addr addr, Addr *victim_addr, Mesi *victim_state)
     victim->tag = tag;
     victim->state = Mesi::Invalid;
     victim->lruStamp = ++lruClock_;
+    mruWay_[setIndex(addr)] =
+        static_cast<std::uint8_t>(victim - &lines_[base]);
     return victim;
 }
 
@@ -145,6 +169,10 @@ Cache::flushAll()
 {
     for (auto &line : lines_)
         line.state = Mesi::Invalid;
+    // The predictions are now all stale; reset them (correct either
+    // way — predictions are verified — but canonical is cheaper than
+    // a guaranteed mispredict per set).
+    std::fill(mruWay_.begin(), mruWay_.end(), 0);
 }
 
 std::size_t
@@ -220,6 +248,10 @@ Cache::restore(snap::Deserializer &d)
     }
     lruClock_ = d.u64();
     statGroup_.restore(d);
+    // MRU way predictions are derived fast-path state: they are not
+    // serialized (snapshots stay canonical and identical across
+    // REMAP_NO_MRU settings), so rebuild them from scratch here.
+    std::fill(mruWay_.begin(), mruWay_.end(), 0);
 }
 
 } // namespace remap::mem

@@ -131,6 +131,15 @@ class Cache
     Addr lineMask_;
     std::vector<Line> lines_;  ///< numSets_ * assoc, set-major
     std::uint64_t lruClock_ = 0;
+    /**
+     * Per-set MRU way, the lookup() fast path: the predicted way is
+     * verified by tag+state before use, so a stale prediction only
+     * costs the full set walk it would have done anyway — never a
+     * wrong result. Derived state: reset by flushAll()/restore(),
+     * disabled entirely by REMAP_NO_MRU=1 (read at construction).
+     */
+    std::vector<std::uint8_t> mruWay_;
+    bool mruEnabled_ = true;
     StatGroup statGroup_;
 };
 

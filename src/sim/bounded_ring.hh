@@ -1,0 +1,157 @@
+/**
+ * @file
+ * BoundedRing — a fixed-capacity FIFO ring over a pre-allocated
+ * slot pool.
+ *
+ * The core pipeline queues (fetch buffer, ROB) have hard
+ * architectural bounds (`fetchBufferEntries`, `robEntries`) that the
+ * pipeline already enforces before every push, yet they were backed
+ * by std::deque, which allocates and frees chunk nodes as the
+ * windows breathe. BoundedRing allocates all slots once at
+ * construction and then recycles them — push_back/pop_front are a
+ * couple of index operations and never touch the allocator, and
+ * operator[] is O(1), which keeps `findBySeq` (seq-offset indexing
+ * into the ROB) cheap.
+ *
+ * Only the deque surface the pipeline actually uses is provided:
+ * front/back/operator[]/push_back/pop_front/clear/size/empty plus
+ * forward iteration.
+ */
+
+#ifndef REMAP_SIM_BOUNDED_RING_HH
+#define REMAP_SIM_BOUNDED_RING_HH
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace remap
+{
+
+template <typename T>
+class BoundedRing
+{
+  public:
+    BoundedRing() = default;
+    explicit BoundedRing(std::size_t capacity) { reset(capacity); }
+
+    /** (Re)allocate the slot pool for @p capacity and empty it. */
+    void
+    reset(std::size_t capacity)
+    {
+        REMAP_ASSERT(capacity > 0, "BoundedRing needs capacity > 0");
+        slots_.assign(capacity, T{});
+        head_ = 0;
+        size_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return slots_.size(); }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == slots_.size(); }
+
+    /** Drop all entries; the slot pool stays allocated. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return slots_[wrap(head_ + i)];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return slots_[wrap(head_ + i)];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[size_ - 1]; }
+    const T &back() const { return (*this)[size_ - 1]; }
+
+    void
+    push_back(const T &v)
+    {
+        REMAP_ASSERT(size_ < slots_.size(), "BoundedRing overflow");
+        slots_[wrap(head_ + size_)] = v;
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        REMAP_ASSERT(size_ > 0, "BoundedRing underflow");
+        head_ = wrap(head_ + 1);
+        --size_;
+    }
+
+    template <bool Const>
+    class Iter
+    {
+      public:
+        using ring_t =
+            std::conditional_t<Const, const BoundedRing, BoundedRing>;
+        using ref_t = std::conditional_t<Const, const T &, T &>;
+
+        Iter(ring_t *r, std::size_t i) : ring_(r), idx_(i) {}
+
+        ref_t operator*() const { return (*ring_)[idx_]; }
+        auto *operator->() const { return &(*ring_)[idx_]; }
+
+        Iter &
+        operator++()
+        {
+            ++idx_;
+            return *this;
+        }
+
+        bool
+        operator==(const Iter &o) const
+        {
+            return idx_ == o.idx_;
+        }
+
+        bool
+        operator!=(const Iter &o) const
+        {
+            return idx_ != o.idx_;
+        }
+
+      private:
+        ring_t *ring_;
+        std::size_t idx_;
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, size_}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size_}; }
+
+  private:
+    /** Wrap a logical slot index into the pool (capacity need not be
+     *  a power of two; the caller guarantees i < 2 * capacity). */
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i >= slots_.size() ? i - slots_.size() : i;
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace remap
+
+#endif // REMAP_SIM_BOUNDED_RING_HH

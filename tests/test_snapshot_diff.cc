@@ -112,6 +112,66 @@ TEST(SnapshotDifferential, Fig14EdSweeps)
     diffJobs(testjobs::fig12Jobs());
 }
 
+TEST(SnapshotDifferential, RestoreRebuildsFastPathState)
+{
+    // Derived fast-path state — the decoded basic-block tables and
+    // operand-readiness memos in the cores, the MRU way predictions
+    // in the caches — is never serialized; Core::restore and
+    // Cache::restore rebuild it from scratch. Snapshots are therefore
+    // interchangeable across REMAP_NO_BLOCK_CACHE / REMAP_NO_MRU
+    // settings: a reference-path run warm-started from a snapshot a
+    // fast-path run captured must land on exactly the cold reference
+    // trajectory, and vice versa.
+    auto &cache = SnapshotCache::instance();
+    cache.setEnabled(true);
+    cache.clear();
+    cache.setFirstBoundary(2048);
+
+    power::EnergyModel model;
+    const auto &info = workloads::byName("ll2");
+    RunSpec spec;
+    spec.variant = Variant::HwBarrier;
+    spec.problemSize = 64;
+    spec.threads = 8;
+
+    // Cold fast-path run; captures snapshots at doubling boundaries.
+    const auto cold_fast = harness::runRegion(info, spec, model);
+
+    // Reference path, warm-started from the fast-path snapshot, then
+    // cold for the identity baseline.
+    ASSERT_EQ(setenv("REMAP_NO_BLOCK_CACHE", "1", 1), 0);
+    ASSERT_EQ(setenv("REMAP_NO_MRU", "1", 1), 0);
+    const auto warm_slow = harness::runRegion(info, spec, model);
+    cache.setEnabled(false);
+    const auto cold_slow = harness::runRegion(info, spec, model);
+
+    // Reverse direction: reference-path snapshots warm-start a
+    // fast-path run.
+    cache.setEnabled(true);
+    cache.clear();
+    const auto capture_slow = harness::runRegion(info, spec, model);
+    ASSERT_EQ(unsetenv("REMAP_NO_BLOCK_CACHE"), 0);
+    ASSERT_EQ(unsetenv("REMAP_NO_MRU"), 0);
+    const auto warm_fast = harness::runRegion(info, spec, model);
+
+    ASSERT_TRUE(warm_slow.warmStarted);
+    ASSERT_TRUE(warm_fast.warmStarted);
+    EXPECT_FALSE(capture_slow.warmStarted);
+
+    EXPECT_EQ(cold_fast.cycles, cold_slow.cycles);
+    EXPECT_EQ(cold_fast.energyJ, cold_slow.energyJ);
+    EXPECT_EQ(cold_fast.work, cold_slow.work);
+    EXPECT_EQ(warm_slow.cycles, cold_slow.cycles);
+    EXPECT_EQ(warm_slow.energyJ, cold_slow.energyJ);
+    EXPECT_EQ(warm_slow.work, cold_slow.work);
+    EXPECT_EQ(warm_fast.cycles, cold_slow.cycles);
+    EXPECT_EQ(warm_fast.energyJ, cold_slow.energyJ);
+    EXPECT_EQ(warm_fast.work, cold_slow.work);
+
+    cache.clear();
+    cache.setFirstBoundary(16384);
+}
+
 TEST(SnapshotDifferential, TracedRunsBypassTheCacheUnchanged)
 {
     // Tracing must observe the complete run, so runRegion skips
