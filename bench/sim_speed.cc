@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -27,6 +28,7 @@
 #include "harness/snapshot_cache.hh"
 #include "harness/parallel.hh"
 #include "sim/json.hh"
+#include "sim/profile.hh"
 #include "isa/builder.hh"
 #include "mem/mem_system.hh"
 #include "spl/function.hh"
@@ -477,5 +479,11 @@ main(int argc, char **argv)
         return 1;
     }
     remap::harness::printSnapshotCacheSummary();
+    if (remap::prof::envEnabled()) {
+        std::fprintf(stderr, "host-time profile (process-wide):\n");
+        std::ostringstream os;
+        remap::prof::processSnapshot().dump(os);
+        std::fputs(os.str().c_str(), stderr);
+    }
     return 0;
 }

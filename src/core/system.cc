@@ -135,6 +135,28 @@ System::System(const SystemConfig &config)
         // call uses its path verbatim.
         enableTracing(trace::uniqueTracePath(env), period);
     }
+
+    // Read directly (not via prof::envEnabled's cache) so tests can
+    // toggle REMAP_PROFILE between System constructions.
+    if (std::getenv("REMAP_PROFILE") != nullptr)
+        enableProfiling();
+}
+
+void
+System::enableProfiling()
+{
+    if (profiler_)
+        return;
+    profiler_ = std::make_unique<prof::Profiler>();
+    prof::Profiler *p = profiler_.get();
+    for (auto &core : cores_)
+        core->setProfiler(p);
+    mem_->setProfiler(p);
+    barrierUnit_.setProfiler(p);
+    // Pick up the Host counter tracks when sampling is already live
+    // (tracing enabled before profiling, e.g. both via environment).
+    if (tracer_ && samplePeriod_ > 0)
+        registerSamplers();
 }
 
 ConfigId
@@ -278,6 +300,19 @@ System::registerSamplers()
         sampler_.add(trace::Category::Fabric, track + ".rr_conflicts",
                      fabric_base + f, "count",
                      &fabrics_[f]->rrConflicts);
+    }
+    // Host-time counter tracks: cumulative per-phase nanoseconds from
+    // the profiler, one track past the barrier unit's.
+    if (profiler_) {
+        const std::uint32_t host_tid =
+            fabric_base + numFabrics() + 1;
+        for (unsigned i = 0; i < prof::kNumPhases; ++i) {
+            const auto phase = static_cast<prof::Phase>(i);
+            sampler_.add(trace::Category::Host,
+                         std::string("host.") +
+                             prof::phaseName(phase),
+                         host_tid, "ns", &profiler_->totalNs(phase));
+        }
     }
 }
 
@@ -463,12 +498,17 @@ System::runInternal(Cycle max_cycles, bool warn_on_timeout)
             }
         }
         bool fabrics_idle = true;
-        for (auto &fabric : fabrics_) {
-            if (!fabric->idle()) {
-                fabric->tick(cycle_);
-                if (!fabric->lastTickQuiet())
-                    all_quiet = false;
-                fabrics_idle = fabric->idle() && fabrics_idle;
+        {
+            prof::ScopedTimer timer(
+                fabrics_.empty() ? nullptr : profiler_.get(),
+                prof::Phase::FabricTick);
+            for (auto &fabric : fabrics_) {
+                if (!fabric->idle()) {
+                    fabric->tick(cycle_);
+                    if (!fabric->lastTickQuiet())
+                        all_quiet = false;
+                    fabrics_idle = fabric->idle() && fabrics_idle;
+                }
             }
         }
         if (!migrations_.empty() && processMigrations())
@@ -501,6 +541,8 @@ System::runInternal(Cycle max_cycles, bool warn_on_timeout)
         // per-cycle loop (REMAP_NO_LEAP=1) would fire them on; see
         // DESIGN.md §10 for the bit-identity argument.
         if (all_quiet) {
+            prof::ScopedTimer timer(profiler_.get(),
+                                    prof::Phase::LeapScan);
             const Cycle now = cycle_ - 1; // the cycle just ticked
             Cycle target = neverCycle;
             for (std::size_t i = 0; i < cores_.size(); ++i) {
@@ -521,6 +563,9 @@ System::runInternal(Cycle max_cycles, bool warn_on_timeout)
             target = std::min(target, nextSample_ - 1);
             if (target > cycle_) {
                 const Cycle skipped = target - cycle_;
+                ++leaps_;
+                leapSkippedCycles_ += skipped;
+                leapHist_.sample(skipped);
                 for (std::size_t i = 0; i < cores_.size(); ++i) {
                     if (!coreDone_[i])
                         cores_[i]->accountSkippedStallCycles(skipped);
@@ -572,14 +617,19 @@ System::resetStats()
     mem_->resetStats();
     for (auto &fabric : fabrics_)
         fabric->resetStats();
+    leaps_.reset();
+    leapSkippedCycles_.reset();
+    leapHist_.reset();
+    if (profiler_)
+        profiler_->reset();
 }
 
 void
-System::dumpStatsJson(std::ostream &os)
+System::dumpStatsJson(std::ostream &os, bool include_sim)
 {
     json::Writer w(os);
     w.beginObject();
-    w.kv("schema_version", 1);
+    w.kv("schema_version", 2);
     w.kv("cycle", cycle_);
     w.kv("num_cores", numCores());
     w.kv("num_clusters", numClusters());
@@ -599,6 +649,33 @@ System::dumpStatsJson(std::ostream &os)
     for (auto &fabric : fabrics_)
         fabric->dumpStatsJson(w);
     w.endObject();
+    // Simulator telemetry: how the run executed on the host, not what
+    // the simulated chip did. Everything under "sim" may legitimately
+    // differ across fast-path kill switches or profiling on/off, so
+    // differential bit-identity tests compare with include_sim=false.
+    if (include_sim) {
+        w.key("sim");
+        w.beginObject();
+        w.key("leap");
+        w.beginObject();
+        w.kv("leaps", leaps_.value());
+        w.kv("skipped_cycles", leapSkippedCycles_.value());
+        w.key("skipped_hist");
+        leapHist_.dumpJson(w);
+        w.endObject();
+        w.key("groups");
+        w.beginObject();
+        for (auto &core : cores_)
+            core->dumpMetaStatsJson(w);
+        mem_->dumpMetaStatsJson(w);
+        w.endObject();
+        prof::dumpMetaHooks(w);
+        if (profiler_) {
+            w.key("profile");
+            profiler_->dumpJson(w);
+        }
+        w.endObject();
+    }
     w.endObject();
     os << '\n';
 }
@@ -745,6 +822,8 @@ System::configHash() const
 void
 System::save(snap::Serializer &s) const
 {
+    prof::ScopedTimer timer(profiler_.get(),
+                            prof::Phase::SnapshotSave);
     s.section("system");
     s.u64(cycle_);
     migrationsCompleted.save(s);
@@ -788,6 +867,8 @@ System::save(snap::Serializer &s) const
 void
 System::restore(snap::Deserializer &d)
 {
+    prof::ScopedTimer timer(profiler_.get(),
+                            prof::Phase::SnapshotRestore);
     if (!d.section("system"))
         return;
     cycle_ = d.u64();

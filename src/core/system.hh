@@ -32,6 +32,7 @@
 #include "mem/mem_system.hh"
 #include "mem/memory_image.hh"
 #include "power/energy.hh"
+#include "sim/profile.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 #include "spl/fabric.hh"
@@ -207,8 +208,18 @@ class System
      * Dump every component's stats as a single JSON object (one
      * sub-object per StatGroup under "groups", plus chip-level
      * fields). The same counters as dumpStats(), machine-readable.
+     *
+     * When @p include_sim is true (the default) a top-level "sim"
+     * object carries simulator telemetry — fast-path meta-stats
+     * (block cache, MRU way prediction, leap and walk-skip savings),
+     * registered meta hooks (e.g. the SnapshotCache), and, when
+     * profiling is enabled, the host-time profile. Differential
+     * comparisons of *simulated* behaviour pass false: the "sim"
+     * subtree describes how the simulator ran, and is the only part
+     * of the dump allowed to differ across fast-path kill switches
+     * or profiling on/off.
      */
-    void dumpStatsJson(std::ostream &os);
+    void dumpStatsJson(std::ostream &os, bool include_sim = true);
 
     /**
      * Start structured tracing into @p path (Chrome trace-event JSON,
@@ -235,6 +246,20 @@ class System
 
     /** The active tracer, or nullptr when tracing is off. */
     trace::Tracer *tracer() { return tracer_.get(); }
+
+    /**
+     * Start host-time profiling: every core, the memory hierarchy,
+     * the barrier unit and the run loop attribute wall-clock time to
+     * their phases (see sim/profile.hh). Also enabled automatically
+     * at construction when REMAP_PROFILE is set in the environment
+     * (read directly, not cached, so tests can toggle it between
+     * constructions). Pure observation: simulated cycles, statistics
+     * and energy are bit-identical with profiling on or off.
+     */
+    void enableProfiling();
+
+    /** The active profiler, or nullptr when profiling is off. */
+    prof::Profiler *profiler() { return profiler_.get(); }
 
     /**
      * Hash of everything that determines this system's execution up
@@ -336,6 +361,15 @@ class System
     bool leapEnabled_ = true;
 
     std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<prof::Profiler> profiler_;
+
+    /** @{ @name Event-horizon leap telemetry (meta-stats: never
+     * serialized, reported in the stats "sim" subtree only). */
+    StatCounter leaps_;
+    StatCounter leapSkippedCycles_;
+    Log2Histogram leapHist_; ///< skipped cycles per leap
+    /** @} */
+
     trace::CounterSampler sampler_;
     Cycle samplePeriod_ = 0;
     /** Next cycle to sample at; ~0 (never) while tracing is off, so

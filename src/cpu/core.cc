@@ -78,7 +78,8 @@ OooCore::OooCore(CoreId id, const CoreParams &params,
       mem_(mem),
       image_(image),
       bpred_(params.bpred),
-      statGroup_("core" + std::to_string(id) + "." + params.name)
+      statGroup_("core" + std::to_string(id) + "." + params.name),
+      metaGroup_("core" + std::to_string(id) + "." + params.name)
 {
     fb_.reset(params_.fetchBufferEntries);
     rob_.reset(params_.robEntries);
@@ -107,6 +108,11 @@ OooCore::OooCore(CoreId id, const CoreParams &params,
     statGroup_.addCounter("bpred_lookups", &bpred_.lookups);
     statGroup_.addCounter("bpred_mispredicts", &bpred_.mispredicts);
     statGroup_.addCounter("bpred_btb_misses", &bpred_.btbMisses);
+    metaGroup_.addCounter("block_fused_insts", &blockFusedInsts);
+    metaGroup_.addCounter("block_fused_runs", &blockFusedRuns);
+    metaGroup_.addCounter("block_generic_insts", &blockGenericInsts);
+    metaGroup_.addCounter("rob_wb_skips", &robWbSkips);
+    metaGroup_.addCounter("rob_issue_skips", &robIssueSkips);
 }
 
 void
@@ -519,6 +525,7 @@ OooCore::fetch(Cycle now)
         // Kept off while a tracer is attached: the spl-stall span
         // bookkeeping lives on the generic path below.
         if (table && !tracer_) {
+            const unsigned fused_before = n;
             const std::uint32_t term = decoded_.runEnd[ctx_->pc] - 1;
             while (ctx_->pc < term && n < params_.fetchWidth &&
                    fb_.size() < params_.fetchBufferEntries) {
@@ -557,6 +564,10 @@ OooCore::fetch(Cycle now)
                 tickProgress_ = true;
                 fb_.push_back(d);
                 ++n;
+            }
+            if (n > fused_before) {
+                ++blockFusedRuns;
+                blockFusedInsts += n - fused_before;
             }
             if (n >= params_.fetchWidth ||
                 fb_.size() >= params_.fetchBufferEntries)
@@ -606,6 +617,7 @@ OooCore::fetch(Cycle now)
         d.seq = nextSeq_++;
         d.fbReady = std::max(icache_ready, now + 1);
         ++fetchedInsts;
+        ++blockGenericInsts;
         tickProgress_ = true;
         fb_.push_back(d);
         ++n;
@@ -731,6 +743,7 @@ OooCore::issue(Cycle now)
             break;
     }
     issueSkip_ = i;
+    robIssueSkips += issueSkip_;
     unsigned remaining = intQueueOcc_ + fpQueueOcc_;
 
     for (; i < sz && remaining != 0; ++i) {
@@ -911,6 +924,7 @@ OooCore::writeback(Cycle now)
     while (i < sz && rob_[i].stage == Stage::Completed)
         ++i;
     wbSkip_ = i;
+    robWbSkips += wbSkip_;
     unsigned remaining = issuedOcc_;
     for (; i < sz; ++i) {
         DynInst &d = rob_[i];
@@ -1080,6 +1094,10 @@ OooCore::tick(Cycle now)
 {
     if (!ctx_)
         return;
+    if (profiler_) {
+        tickProfiled(now);
+        return;
+    }
     tickProgress_ = false;
     stallMask_ = 0;
     if (!done())
@@ -1089,6 +1107,32 @@ OooCore::tick(Cycle now)
     issue(now);
     dispatch(now);
     fetch(now);
+}
+
+void
+OooCore::tickProfiled(Cycle now)
+{
+    // Same stage sequence as tick(), bracketed by host-clock reads.
+    // Three chained timestamps cover the five stages: commit and
+    // writeback walk the same ROB tail, issue and dispatch share the
+    // window, fetch stands alone — matching the profiler's
+    // WritebackCommit / IssueExecute / FetchDecode taxonomy.
+    tickProgress_ = false;
+    stallMask_ = 0;
+    if (!done())
+        ++activeCycles;
+    const std::uint64_t t0 = prof::nowNs();
+    commit(now);
+    writeback(now);
+    const std::uint64_t t1 = prof::nowNs();
+    issue(now);
+    dispatch(now);
+    const std::uint64_t t2 = prof::nowNs();
+    fetch(now);
+    const std::uint64_t t3 = prof::nowNs();
+    profiler_->record(prof::Phase::WritebackCommit, t1 - t0);
+    profiler_->record(prof::Phase::IssueExecute, t2 - t1);
+    profiler_->record(prof::Phase::FetchDecode, t3 - t2);
 }
 
 Cycle
@@ -1158,9 +1202,16 @@ OooCore::dumpStatsJson(json::Writer &w)
 }
 
 void
+OooCore::dumpMetaStatsJson(json::Writer &w)
+{
+    metaGroup_.dumpJson(w);
+}
+
+void
 OooCore::resetStats()
 {
     statGroup_.reset();
+    metaGroup_.reset();
 }
 
 void

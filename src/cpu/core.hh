@@ -40,6 +40,7 @@
 #include "mem/mem_system.hh"
 #include "mem/memory_image.hh"
 #include "sim/bounded_ring.hh"
+#include "sim/profile.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "spl/fabric.hh"
@@ -182,12 +183,34 @@ class OooCore
     StatCounter activeCycles;      ///< cycles with a live thread
     /** @} */
 
+    /** @{ @name Fast-path telemetry (meta-stats: describe how the
+     * simulator ran, not what the simulated chip did. Registered in
+     * metaGroup_, which is never serialized — see dumpMetaStatsJson).
+     */
+    StatCounter blockFusedInsts;   ///< insts fetched via fused runs
+    StatCounter blockFusedRuns;    ///< fused-run activations
+    StatCounter blockGenericInsts; ///< insts fetched via generic path
+    StatCounter robWbSkips;        ///< ROB entries skipped by writeback
+    StatCounter robIssueSkips;     ///< ROB entries skipped by issue
+    /** @} */
+
     /** Dump core + predictor stats. */
     void dumpStats(std::ostream &os);
     /** Emit core + predictor stats into an open JSON object scope. */
     void dumpStatsJson(json::Writer &w);
+    /** Emit this core's fast-path meta-stats (block cache, walk-skip
+     *  savings) into an open JSON object scope. */
+    void dumpMetaStatsJson(json::Writer &w);
     /** Reset all statistics. */
     void resetStats();
+
+    /**
+     * Attribute this core's tick phases to @p p (null disables).
+     * Observation only — the profiled tick path executes the same
+     * stage sequence as the plain one, it just brackets the stages
+     * with host-clock reads.
+     */
+    void setProfiler(prof::Profiler *p) { profiler_ = p; }
 
     /**
      * Stream committed instructions as text ("cycle core pc: disasm"
@@ -267,6 +290,9 @@ class OooCore
     void issue(Cycle now);
     void dispatch(Cycle now);
     void fetch(Cycle now);
+
+    /** tick() body with host-time attribution (profiler_ != null). */
+    void tickProfiled(Cycle now);
 
     /** Functionally execute @p inst; fills @p d; returns false when
      *  fetch must stall (spl_store with no functional value yet). */
@@ -384,7 +410,13 @@ class OooCore
     /** Start cycle of an open fetch-side SPL stall span, or 0. */
     Cycle splFetchStallStart_ = 0;
 
+    prof::Profiler *profiler_ = nullptr;
+
     StatGroup statGroup_;
+    /** Fast-path telemetry group: reported via dumpMetaStatsJson but
+     *  never snapshot-serialized, so meta-counters cannot perturb
+     *  snapshot byte streams or cross-kill-switch identity. */
+    StatGroup metaGroup_;
 };
 
 } // namespace remap::cpu

@@ -6,6 +6,7 @@
 #include "harness/parallel.hh"
 #include "harness/snapshot_cache.hh"
 #include "sim/logging.hh"
+#include "sim/profile.hh"
 #include "sim/snapshot.hh"
 
 namespace remap::harness
@@ -121,6 +122,20 @@ runRegion(const workloads::WorkloadInfo &info, const RunSpec &spec,
             .totalJ() /
         copies;
     res.work = run.workUnits / copies;
+    // Harvest host-time attribution: the per-System profile feeds the
+    // process-wide aggregate (reported by bench drivers and the
+    // manifest rollup) and the per-job manifest attribution.
+    if (const prof::Profiler *p = run.system->profiler()) {
+        prof::mergeIntoProcess(*p);
+        res.hostPhaseMs.reserve(prof::kNumPhases);
+        for (unsigned i = 0; i < prof::kNumPhases; ++i) {
+            const auto phase = static_cast<prof::Phase>(i);
+            if (p->count(phase).value() == 0)
+                continue;
+            res.hostPhaseMs.emplace_back(prof::phaseName(phase),
+                                         p->totalMs(phase));
+        }
+    }
     return res;
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "power/energy.hh"
@@ -37,6 +38,10 @@ struct RegionResult
     bool warmStarted = false;
     /** Boundary cycle the run restored from (0 = cold). */
     Cycle snapshotBoundary = 0;
+    /** Host milliseconds per profiler phase for this run, in Phase
+     *  order (empty when REMAP_PROFILE is off). Pure provenance:
+     *  flows into run manifests for per-job host-time attribution. */
+    std::vector<std::pair<std::string, double>> hostPhaseMs;
 
     /** Cycles per work unit (Fig. 12's y-axis). */
     double

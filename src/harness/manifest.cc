@@ -6,8 +6,10 @@
 #include <fstream>
 #include <thread>
 
+#include "harness/snapshot_cache.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/profile.hh"
 #include "sim/rng.hh"
 
 namespace remap::harness
@@ -59,7 +61,8 @@ std::string
 writeRunManifest(const std::vector<RegionJob> &jobs,
                  const std::vector<RegionResult> &results,
                  const std::vector<JobTiming> &timings,
-                 unsigned pool_workers, const std::string &path)
+                 unsigned pool_workers, const std::string &path,
+                 const JobPool *pool)
 {
     std::string out_path = path;
     if (out_path.empty()) {
@@ -81,7 +84,7 @@ writeRunManifest(const std::vector<RegionJob> &jobs,
 
     json::Writer w(os);
     w.beginObject();
-    w.kv("schema_version", 1);
+    w.kv("schema_version", 2);
     w.kv("experiment", experimentLabel());
     w.key("host");
     w.beginObject();
@@ -93,6 +96,24 @@ writeRunManifest(const std::vector<RegionJob> &jobs,
         w.key("remap_jobs").nullValue();
     w.kv("pool_workers", pool_workers);
     w.endObject();
+    // Pool lifetime counters (monotonic over the process, so two
+    // manifests from one driver may share history).
+    if (pool) {
+        w.key("pool");
+        w.beginObject();
+        w.kv("jobs_executed", pool->jobsExecuted());
+        w.kv("steals", pool->steals());
+        w.kv("max_queue_depth", pool->maxQueueDepth());
+        w.endObject();
+    }
+    w.key("snapshot_cache");
+    SnapshotCache::instance().dumpStatsJson(w);
+    // Process-wide host-time attribution (only populated when
+    // REMAP_PROFILE was set for the run).
+    if (prof::envEnabled()) {
+        w.key("host_phases");
+        prof::processSnapshot().dumpJson(w);
+    }
     // Workload inputs are synthetic and fully deterministic; the
     // RunSpec below (plus the fixed RNG seed all input synthesis
     // uses) is the complete reproduction recipe for a job.
@@ -126,6 +147,14 @@ writeRunManifest(const std::vector<RegionJob> &jobs,
                 w.kv("config_hash", hex64(results[i].configHash));
             w.kv("warm_started", results[i].warmStarted);
             w.kv("snapshot_boundary", results[i].snapshotBoundary);
+            // Per-job host-time attribution (REMAP_PROFILE runs).
+            if (!results[i].hostPhaseMs.empty()) {
+                w.key("host_ms");
+                w.beginObject();
+                for (const auto &[phase, ms] : results[i].hostPhaseMs)
+                    w.kv(phase, ms);
+                w.endObject();
+            }
             w.endObject();
         }
         if (i < timings.size()) {

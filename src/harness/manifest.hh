@@ -42,13 +42,16 @@ bool manifestsEnabled();
  * Write one manifest covering a completed batch. @p jobs, @p results
  * and @p timings are index-aligned. Called by runRegions(); exposed
  * for tests (which pass an explicit @p path to avoid the env gate).
+ * @p pool, when non-null, contributes lifetime jobs/steals/queue-depth
+ * counters to the manifest's "pool" object.
  * @return the path written, or an empty string when skipped/failed.
  */
 std::string writeRunManifest(const std::vector<RegionJob> &jobs,
                              const std::vector<RegionResult> &results,
                              const std::vector<JobTiming> &timings,
                              unsigned pool_workers,
-                             const std::string &path = "");
+                             const std::string &path = "",
+                             const JobPool *pool = nullptr);
 
 } // namespace remap::harness
 

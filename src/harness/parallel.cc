@@ -11,6 +11,7 @@
 
 #include "harness/manifest.hh"
 #include "sim/logging.hh"
+#include "sim/profile.hh"
 
 namespace remap::harness
 {
@@ -67,6 +68,19 @@ struct JobPool::Impl
     std::atomic<std::size_t> pendingTasks{0};
     std::atomic<std::uint64_t> jobsExecuted{0};
     std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> maxQueueDepth{0};
+
+    /** Raise the queue-depth high-water mark to at least @p depth. */
+    void
+    noteQueueDepth(std::uint64_t depth)
+    {
+        std::uint64_t prev =
+            maxQueueDepth.load(std::memory_order_relaxed);
+        while (prev < depth &&
+               !maxQueueDepth.compare_exchange_weak(
+                   prev, depth, std::memory_order_relaxed))
+            ;
+    }
 
     bool
     tryPop(unsigned self, Task &out)
@@ -103,7 +117,12 @@ struct JobPool::Impl
         ScopedLogContext ctx("worker" + std::to_string(self) +
                              ".job" + std::to_string(t.index));
         const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t ns0 =
+            prof::envEnabled() ? prof::nowNs() : 0;
         t.batch->jobs[t.index]();
+        if (ns0)
+            prof::recordProcess(prof::Phase::JobDispatch,
+                                prof::nowNs() - ns0);
         t.batch->timings[t.index].wallMs = elapsedMs(t0);
         t.batch->timings[t.index].worker = self;
         jobsExecuted.fetch_add(1, std::memory_order_relaxed);
@@ -190,6 +209,12 @@ JobPool::steals() const
     return impl_->steals.load(std::memory_order_relaxed);
 }
 
+std::uint64_t
+JobPool::maxQueueDepth() const
+{
+    return impl_->maxQueueDepth.load(std::memory_order_relaxed);
+}
+
 JobPool &
 JobPool::shared()
 {
@@ -208,13 +233,19 @@ JobPool::run(std::vector<std::function<void()>> jobs)
     if (numWorkers_ <= 1 || in_pool_worker) {
         // Serial path: REMAP_JOBS=1, or a nested submission from a
         // worker thread (waiting on our own pool would deadlock).
+        impl_->noteQueueDepth(n);
         for (std::size_t i = 0; i < n; ++i) {
             ScopedLogContext ctx(
                 logContext().empty()
                     ? "job" + std::to_string(i)
                     : logContext() + ".job" + std::to_string(i));
             const auto t0 = std::chrono::steady_clock::now();
+            const std::uint64_t ns0 =
+                prof::envEnabled() ? prof::nowNs() : 0;
             jobs[i]();
+            if (ns0)
+                prof::recordProcess(prof::Phase::JobDispatch,
+                                    prof::nowNs() - ns0);
             timings[i].wallMs = elapsedMs(t0);
             timings[i].worker = 0;
         }
@@ -236,7 +267,9 @@ JobPool::run(std::vector<std::function<void()>> jobs)
     }
     {
         std::lock_guard<std::mutex> lk(impl_->sleepMutex);
-        impl_->pendingTasks.fetch_add(n, std::memory_order_release);
+        const std::size_t prev = impl_->pendingTasks.fetch_add(
+            n, std::memory_order_release);
+        impl_->noteQueueDepth(prev + n);
     }
     impl_->sleepCv.notify_all();
 
@@ -305,7 +338,7 @@ runRegions(const std::vector<RegionJob> &jobs,
         });
     std::vector<JobTiming> t = p.run(std::move(fns));
     if (manifestsEnabled())
-        writeRunManifest(jobs, results, t, p.workers());
+        writeRunManifest(jobs, results, t, p.workers(), "", &p);
     if (timings)
         *timings = std::move(t);
     return results;

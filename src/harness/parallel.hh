@@ -74,6 +74,8 @@ class JobPool
     std::uint64_t jobsExecuted() const;
     /** Successful steals over the pool's lifetime. */
     std::uint64_t steals() const;
+    /** High-water mark of queued-but-not-started tasks. */
+    std::uint64_t maxQueueDepth() const;
 
     /** Lazily-created process-wide pool with defaultWorkers(). */
     static JobPool &shared();

@@ -7,7 +7,9 @@
 #include <fstream>
 #include <thread>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/profile.hh"
 #include "sim/snapshot.hh"
 
 namespace remap::harness
@@ -46,6 +48,12 @@ SnapshotCache::SnapshotCache()
     firstBoundary_ = envU64("REMAP_CKPT_WARMUP", 16384);
     if (const char *dir = std::getenv("REMAP_CKPT"); dir && *dir)
         setDiskDir(dir);
+    // Surface the process-wide cache in every System's stats "sim"
+    // subtree (the hook indirection keeps the core library free of
+    // harness dependencies).
+    prof::setMetaJsonHook("snapshot_cache", [](json::Writer &w) {
+        SnapshotCache::instance().dumpStatsJson(w);
+    });
 }
 
 void
@@ -342,6 +350,22 @@ SnapshotCache::stats() const
 {
     std::lock_guard lock(mu_);
     return stats_;
+}
+
+void
+SnapshotCache::dumpStatsJson(json::Writer &w) const
+{
+    Stats st = stats();
+    w.beginObject();
+    w.kv("hits", st.hits);
+    w.kv("misses", st.misses);
+    w.kv("stores", st.stores);
+    w.kv("disk_loads", st.diskLoads);
+    w.kv("rejected", st.rejected);
+    w.kv("evictions", st.evictions);
+    w.kv("bytes", static_cast<std::uint64_t>(st.bytes));
+    w.kv("entries", static_cast<std::uint64_t>(st.entries));
+    w.endObject();
 }
 
 std::string

@@ -46,6 +46,11 @@
 #include "sim/types.hh"
 #include "workloads/workload.hh"
 
+namespace remap::json
+{
+class Writer;
+}
+
 namespace remap::harness
 {
 
@@ -129,6 +134,12 @@ class SnapshotCache
 
     /** One-line human-readable summary ("3 hits, 2 misses, ..."). */
     std::string summary() const;
+
+    /** Emit the Stats fields as one JSON object value (the caller
+     *  has already emitted the key). Also registered as a meta-JSON
+     *  hook under "snapshot_cache", so System::dumpStatsJson's "sim"
+     *  subtree reports the cache without a core→harness dependency. */
+    void dumpStatsJson(json::Writer &w) const;
 
   private:
     SnapshotCache();

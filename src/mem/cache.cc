@@ -9,7 +9,8 @@ namespace remap::mem
 {
 
 Cache::Cache(const CacheParams &params)
-    : params_(params), statGroup_(params.name)
+    : params_(params), statGroup_(params.name),
+      metaGroup_(params.name)
 {
     REMAP_ASSERT(params_.lineBytes > 0 &&
                  (params_.lineBytes & (params_.lineBytes - 1)) == 0,
@@ -31,6 +32,8 @@ Cache::Cache(const CacheParams &params)
     statGroup_.addCounter("writebacks", &writebacks);
     statGroup_.addCounter("snoop_invalidations",
                           &snoopInvalidations);
+    metaGroup_.addCounter("mru_hits", &mruHits);
+    metaGroup_.addCounter("mru_misses", &mruMisses);
 }
 
 std::size_t
@@ -53,6 +56,7 @@ Cache::lookup(Addr addr)
     if (mruEnabled_) {
         Line &pred = lines_[base + mruWay_[set]];
         if (pred.state != Mesi::Invalid && pred.tag == tag) {
+            ++mruHits;
             pred.lruStamp = ++lruClock_;
             return &pred;
         }
@@ -61,6 +65,8 @@ Cache::lookup(Addr addr)
     for (unsigned w = 0; w < params_.assoc; ++w) {
         Line &line = lines_[base + w];
         if (line.state != Mesi::Invalid && line.tag == tag) {
+            if (mruEnabled_)
+                ++mruMisses;
             line.lruStamp = ++lruClock_;
             mruWay_[set] = static_cast<std::uint8_t>(w);
             return &line;

@@ -106,6 +106,10 @@ class Cache
     /** Stats group for reporting. */
     StatGroup &stats() { return statGroup_; }
 
+    /** Fast-path telemetry group (MRU way prediction): reported in
+     *  the stats "sim" subtree, never snapshot-serialized. */
+    StatGroup &metaStats() { return metaGroup_; }
+
     /** Serialize valid lines (sparse), the LRU clock and the stats.
      *  Canonical: invalid lines are not written, so two caches with
      *  identical resident contents serialize identically regardless
@@ -121,6 +125,12 @@ class Cache
     StatCounter evictions;
     StatCounter writebacks;
     StatCounter snoopInvalidations;
+    /** @} */
+
+    /** @{ @name MRU way-prediction telemetry (meta-stats; hits on
+     * walk-found lines count as mru_misses). Not serialized. */
+    StatCounter mruHits;
+    StatCounter mruMisses;
     /** @} */
 
   private:
@@ -141,6 +151,7 @@ class Cache
     std::vector<std::uint8_t> mruWay_;
     bool mruEnabled_ = true;
     StatGroup statGroup_;
+    StatGroup metaGroup_;
 };
 
 } // namespace remap::mem

@@ -141,7 +141,8 @@ MemSystem::fillL2(CoreId core, Addr addr, AccessKind kind, Cycle now)
 }
 
 Cycle
-MemSystem::access(CoreId core, Addr addr, AccessKind kind, Cycle now)
+MemSystem::accessTimed(CoreId core, Addr addr, AccessKind kind,
+                       Cycle now)
 {
     REMAP_ASSERT(core < l2_.size(), "core id out of range");
     Cache &l1 = (kind == AccessKind::IFetch) ? *l1i_[core] : *l1d_[core];
@@ -218,6 +219,16 @@ MemSystem::dumpStatsJson(json::Writer &w)
 }
 
 void
+MemSystem::dumpMetaStatsJson(json::Writer &w)
+{
+    for (unsigned c = 0; c < l2_.size(); ++c) {
+        l1i_[c]->metaStats().dumpJson(w);
+        l1d_[c]->metaStats().dumpJson(w);
+        l2_[c]->metaStats().dumpJson(w);
+    }
+}
+
+void
 MemSystem::resetStats()
 {
     statGroup_.reset();
@@ -225,6 +236,9 @@ MemSystem::resetStats()
         l1i_[c]->stats().reset();
         l1d_[c]->stats().reset();
         l2_[c]->stats().reset();
+        l1i_[c]->metaStats().reset();
+        l1d_[c]->metaStats().reset();
+        l2_[c]->metaStats().reset();
     }
 }
 

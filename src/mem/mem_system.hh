@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mem/cache.hh"
+#include "sim/profile.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -76,7 +77,15 @@ class MemSystem
      * @param now cycle the request leaves the core
      * @return cycle at which the data is available to the core
      */
-    Cycle access(CoreId core, Addr addr, AccessKind kind, Cycle now);
+    Cycle
+    access(CoreId core, Addr addr, AccessKind kind, Cycle now)
+    {
+        prof::ScopedTimer timer(profiler_, prof::Phase::CacheAccess);
+        return accessTimed(core, addr, kind, now);
+    }
+
+    /** Attribute hierarchy access host time to @p p (null disables). */
+    void setProfiler(prof::Profiler *p) { profiler_ = p; }
 
     /** Invalidate all caches of @p core (thread migration). */
     void flushCore(CoreId core);
@@ -117,6 +126,10 @@ class MemSystem
      *  (one sub-object per StatGroup). */
     void dumpStatsJson(json::Writer &w);
 
+    /** Emit every cache's MRU way-prediction meta-stats into an open
+     *  JSON object scope of @p w. */
+    void dumpMetaStatsJson(json::Writer &w);
+
     /** Reset all statistics (start of a measured region). */
     void resetStats();
 
@@ -126,6 +139,11 @@ class MemSystem
     void restore(snap::Deserializer &d);
 
   private:
+    /** The timing body of access() (split so the inline wrapper can
+     *  bracket it with the CacheAccess scoped timer). */
+    Cycle accessTimed(CoreId core, Addr addr, AccessKind kind,
+                      Cycle now);
+
     /**
      * Obtain the line in @p core's L2 in a state sufficient for
      * @p kind, running the MESI bus transaction if needed.
@@ -145,6 +163,7 @@ class MemSystem
     std::vector<std::unique_ptr<Cache>> l1d_;
     std::vector<std::unique_ptr<Cache>> l2_;
     Cycle busBusyUntil_ = 0;
+    prof::Profiler *profiler_ = nullptr;
     StatGroup statGroup_;
 };
 

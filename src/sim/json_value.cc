@@ -1,0 +1,300 @@
+#include "sim/json_value.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace remap::json
+{
+
+namespace
+{
+
+/** Recursive-descent parser over a string_view with offset errors. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parseDocument(Value &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_ && error_->empty())
+            *error_ = msg + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            const char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (++depth_ > kMaxDepth)
+            return fail("nesting too deep");
+        bool ok = parseValueInner(out);
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseValueInner(Value &out)
+    {
+        if (atEnd())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.kind = Value::Kind::String;
+            return parseString(out.str);
+          case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return fail("bad literal");
+            out.kind = Value::Kind::Null;
+            return true;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        out.kind = Value::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (atEnd() || peek() != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (atEnd() || peek() != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.obj.emplace(std::move(key), std::move(v));
+            skipWs();
+            if (atEnd())
+                return fail("unterminated object");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        out.kind = Value::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.arr.push_back(std::move(v));
+            skipWs();
+            if (atEnd())
+                return fail("unterminated array");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening '"'
+        out.clear();
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (atEnd())
+                return fail("unterminated escape");
+            c = text_[pos_++];
+            switch (c) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode (BMP only; the writer never emits
+                // surrogate pairs).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos_;
+        if (!atEnd() && (peek() == '-' || peek() == '+'))
+            ++pos_;
+        bool saw_digit = false;
+        while (!atEnd()) {
+            const char c = peek();
+            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                c == 'E' || c == '-' || c == '+') {
+                saw_digit = saw_digit || (c >= '0' && c <= '9');
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (!saw_digit) {
+            pos_ = start;
+            return fail("expected value");
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        out.num = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        out.kind = Value::Kind::Number;
+        return true;
+    }
+
+    static constexpr unsigned kMaxDepth = 256;
+
+    std::string_view text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    unsigned depth_ = 0;
+};
+
+} // namespace
+
+bool
+parse(std::string_view text, Value &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    out = Value{};
+    Parser p(text, error);
+    return p.parseDocument(out);
+}
+
+} // namespace remap::json

@@ -6,6 +6,30 @@ namespace remap
 {
 
 void
+Log2Histogram::dumpJson(json::Writer &w) const
+{
+    w.beginObject();
+    w.kv("count", count_);
+    w.kv("sum", sum_);
+    w.kv("mean", mean());
+    w.kv("p50", p50());
+    w.kv("p95", p95());
+    w.kv("p99", p99());
+    w.key("buckets");
+    w.beginArray();
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        w.beginArray();
+        w.value(bucketLow(i));
+        w.value(buckets_[i]);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
     for (const auto &[stat_name, counter] : counters_)

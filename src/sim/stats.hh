@@ -149,6 +149,127 @@ class StatHistogram
 };
 
 /**
+ * Histogram over power-of-two buckets of a 64-bit sample domain:
+ * bucket 0 holds the value 0, bucket i (i >= 1) holds values in
+ * [2^(i-1), 2^i). Used for host-time (nanosecond) and skipped-cycle
+ * distributions, where samples span many orders of magnitude and the
+ * interesting questions are tail percentiles, not exact moments.
+ */
+class Log2Histogram
+{
+  public:
+    /** Bucket count: value 0 plus one bucket per bit of the domain. */
+    static constexpr unsigned kBuckets = 65;
+
+    /** Bucket index of @p v: 0 for 0, else floor(log2(v)) + 1. */
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        unsigned b = 0;
+        while (v) {
+            ++b;
+            v >>= 1;
+        }
+        return b;
+    }
+
+    /** Inclusive lower bound of bucket @p i. */
+    static std::uint64_t
+    bucketLow(unsigned i)
+    {
+        return i == 0 ? 0 : std::uint64_t(1) << (i - 1);
+    }
+
+    /** Inclusive upper bound of bucket @p i. */
+    static std::uint64_t
+    bucketHigh(unsigned i)
+    {
+        return i == 0 ? 0
+               : i >= 64
+                   ? ~std::uint64_t(0)
+                   : (std::uint64_t(1) << i) - 1;
+    }
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        ++count_;
+        sum_ += v;
+    }
+
+    /** Total samples. */
+    std::uint64_t count() const { return count_; }
+    /** Sum of all samples. */
+    std::uint64_t sum() const { return sum_; }
+    /** Mean sample, 0 when empty. */
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+    /** Count in bucket @p i. */
+    std::uint64_t bucket(unsigned i) const { return buckets_[i]; }
+
+    /**
+     * The @p p-th percentile (p in [0, 100]), reported as the upper
+     * bound of the bucket containing that rank — an upper estimate
+     * with at most 2x quantization, which is what log2 buckets buy.
+     * Returns 0 when empty.
+     */
+    std::uint64_t
+    percentile(double p) const
+    {
+        if (count_ == 0)
+            return 0;
+        const double rank = p / 100.0 * static_cast<double>(count_);
+        std::uint64_t seen = 0;
+        for (unsigned i = 0; i < kBuckets; ++i) {
+            seen += buckets_[i];
+            if (static_cast<double>(seen) >= rank && seen > 0)
+                return bucketHigh(i);
+        }
+        return bucketHigh(kBuckets - 1);
+    }
+
+    std::uint64_t p50() const { return percentile(50.0); }
+    std::uint64_t p95() const { return percentile(95.0); }
+    std::uint64_t p99() const { return percentile(99.0); }
+
+    /** Discard all samples. */
+    void
+    reset()
+    {
+        std::fill(std::begin(buckets_), std::end(buckets_), 0);
+        count_ = 0;
+        sum_ = 0;
+    }
+
+    /** Accumulate @p other's samples into this histogram. */
+    void
+    merge(const Log2Histogram &other)
+    {
+        for (unsigned i = 0; i < kBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+    }
+
+    /**
+     * Emit as a JSON value: {"count", "sum", "mean", "p50", "p95",
+     * "p99", "buckets": [[low, count], ...]} with only the non-empty
+     * buckets listed. The caller has already emitted the key.
+     */
+    void dumpJson(json::Writer &w) const;
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
  * A named collection of statistics belonging to one simulated object.
  *
  * Stats are registered by pointer; the group does not own them. The

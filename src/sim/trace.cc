@@ -18,6 +18,7 @@ categoryName(Category c)
       case Category::Queue:     return "queue";
       case Category::Barrier:   return "barrier";
       case Category::Migration: return "migration";
+      case Category::Host:      return "host";
     }
     return "unknown";
 }

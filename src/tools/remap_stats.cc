@@ -1,0 +1,240 @@
+/**
+ * @file
+ * remap-stats — query, diff and aggregate the JSON files the
+ * simulator writes (System::dumpStatsJson dumps, run manifests,
+ * BENCH_*.json baselines).
+ *
+ *   remap-stats show FILE [--only SUB]...
+ *   remap-stats diff A B [--tolerance T] [--one-sided]
+ *                        [--only SUB]... [--ignore SUB]...
+ *                        [--warn-only] [--quiet]
+ *   remap-stats aggregate FILE... [--only SUB]...
+ *
+ * Exit codes (machine-readable, for CI gates):
+ *   0  success; for diff: no tolerance violation
+ *   1  diff found at least one violation (unless --warn-only)
+ *   2  usage or I/O error
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/stats_query.hh"
+
+namespace
+{
+
+using remap::json::Value;
+using remap::tools::Aggregate;
+using remap::tools::DiffEntry;
+using remap::tools::DiffOptions;
+using remap::tools::DiffResult;
+using remap::tools::FlatEntry;
+using remap::tools::flatten;
+using remap::tools::loadJsonFile;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s show FILE [--only SUB]...\n"
+        "       %s diff A B [--tolerance T] [--one-sided]\n"
+        "                   [--only SUB]... [--ignore SUB]...\n"
+        "                   [--warn-only] [--quiet]\n"
+        "       %s aggregate FILE... [--only SUB]...\n"
+        "\n"
+        "Operates on the JSON files the simulator writes: stats\n"
+        "dumps, run manifests and BENCH baselines.\n"
+        "\n"
+        "diff exit codes: 0 = within tolerance, 1 = violation,\n"
+        "2 = usage/IO error. Default tolerance 0.05 (5%% relative);\n"
+        "--one-sided only flags B > A (larger-is-worse metrics).\n",
+        argv0, argv0, argv0);
+    return 2;
+}
+
+bool
+matchesAny(const std::string &path,
+           const std::vector<std::string> &subs)
+{
+    for (const std::string &s : subs)
+        if (path.find(s) != std::string::npos)
+            return true;
+    return subs.empty();
+}
+
+int
+cmdShow(const std::vector<std::string> &files,
+        const std::vector<std::string> &only)
+{
+    if (files.size() != 1)
+        return 2;
+    Value root;
+    std::string error;
+    if (!loadJsonFile(files[0], root, &error)) {
+        std::fprintf(stderr, "remap-stats: %s\n", error.c_str());
+        return 2;
+    }
+    for (const auto &[path, e] : flatten(root)) {
+        if (!matchesAny(path, only))
+            continue;
+        switch (e.kind) {
+          case FlatEntry::Kind::Number:
+            std::printf("%s = %.17g\n", path.c_str(), e.num);
+            break;
+          case FlatEntry::Kind::String:
+            std::printf("%s = \"%s\"\n", path.c_str(),
+                        e.str.c_str());
+            break;
+          case FlatEntry::Kind::Bool:
+            std::printf("%s = %s\n", path.c_str(), e.str.c_str());
+            break;
+          case FlatEntry::Kind::Null:
+            std::printf("%s = null\n", path.c_str());
+            break;
+        }
+    }
+    return 0;
+}
+
+int
+cmdDiff(const std::vector<std::string> &files, const DiffOptions &opt,
+        bool warn_only, bool quiet)
+{
+    if (files.size() != 2)
+        return 2;
+    Value ra, rb;
+    std::string error;
+    if (!loadJsonFile(files[0], ra, &error) ||
+        !loadJsonFile(files[1], rb, &error)) {
+        std::fprintf(stderr, "remap-stats: %s\n", error.c_str());
+        return 2;
+    }
+    const DiffResult res = diff(flatten(ra), flatten(rb), opt);
+
+    if (!quiet) {
+        for (const DiffEntry &d : res.entries) {
+            if (!d.note.empty()) {
+                std::printf("  note  %s: %s\n", d.path.c_str(),
+                            d.note.c_str());
+                continue;
+            }
+            std::printf("%s %s: %.17g -> %.17g (%+.2f%%)\n",
+                        d.violation ? "  FAIL " : "  drift",
+                        d.path.c_str(), d.a, d.b, d.rel * 100.0);
+        }
+        std::printf("%zu paths compared, %zu violation%s "
+                    "(tolerance %.2f%%%s), %zu note%s\n",
+                    res.compared, res.violations,
+                    res.violations == 1 ? "" : "s",
+                    opt.tolerance * 100.0,
+                    opt.oneSided ? ", one-sided" : "",
+                    res.notes, res.notes == 1 ? "" : "s");
+    }
+    if (res.violations > 0)
+        return warn_only ? 0 : 1;
+    return 0;
+}
+
+int
+cmdAggregate(const std::vector<std::string> &files,
+             const std::vector<std::string> &only)
+{
+    if (files.empty())
+        return 2;
+    std::vector<std::map<std::string, FlatEntry>> runs;
+    for (const std::string &f : files) {
+        Value root;
+        std::string error;
+        if (!loadJsonFile(f, root, &error)) {
+            std::fprintf(stderr, "remap-stats: %s\n", error.c_str());
+            return 2;
+        }
+        runs.push_back(flatten(root));
+    }
+    for (const auto &[path, agg] : remap::tools::aggregate(runs)) {
+        if (!matchesAny(path, only))
+            continue;
+        std::printf(
+            "%s: n=%zu mean=%.17g min=%.17g max=%.17g\n",
+            path.c_str(), agg.count, agg.mean(), agg.min, agg.max);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string cmd = argv[1];
+
+    DiffOptions opt;
+    bool warn_only = false;
+    bool quiet = false;
+    std::vector<std::string> files;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "remap-stats: %s needs a value\n",
+                             arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--tolerance") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            char *end = nullptr;
+            opt.tolerance = std::strtod(v, &end);
+            if (end == v || opt.tolerance < 0) {
+                std::fprintf(stderr,
+                             "remap-stats: bad tolerance '%s'\n", v);
+                return 2;
+            }
+        } else if (arg == "--only") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            opt.only.push_back(v);
+        } else if (arg == "--ignore") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            opt.ignore.push_back(v);
+        } else if (arg == "--one-sided") {
+            opt.oneSided = true;
+        } else if (arg == "--warn-only") {
+            warn_only = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "remap-stats: unknown option %s\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    int rc;
+    if (cmd == "show")
+        rc = cmdShow(files, opt.only);
+    else if (cmd == "diff")
+        rc = cmdDiff(files, opt, warn_only, quiet);
+    else if (cmd == "aggregate")
+        rc = cmdAggregate(files, opt.only);
+    else
+        return usage(argv[0]);
+    return rc == 2 ? usage(argv[0]) : rc;
+}

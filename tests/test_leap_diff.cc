@@ -76,7 +76,7 @@ runProbe(const workloads::WorkloadInfo &info, const RunSpec &spec,
     power::EnergyModel model;
     p.energyJ = r.system->measureEnergy(model, res.cycles).totalJ();
     std::ostringstream os;
-    r.system->dumpStatsJson(os);
+    r.system->dumpStatsJson(os, /*include_sim=*/false);
     p.statsJson = os.str();
     snap::Serializer s;
     r.system->save(s);

@@ -300,7 +300,7 @@ std::string
 statsJson(sys::System &system)
 {
     std::ostringstream os;
-    system.dumpStatsJson(os);
+    system.dumpStatsJson(os, /*include_sim=*/false);
     return os.str();
 }
 

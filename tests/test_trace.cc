@@ -434,7 +434,7 @@ TEST(SystemTrace, BitIdenticalWithTracingOnOrOff)
                   std::int64_t(400) * 399 / 2);
         std::ostringstream t1, t2;
         sys.dumpStats(t1);
-        sys.dumpStatsJson(t2);
+        sys.dumpStatsJson(t2, /*include_sim=*/false);
         stats_text = t1.str();
         stats_json = t2.str();
         if (traced) {
@@ -640,9 +640,13 @@ TEST(StatsJson, GoldenStableAndMatchesCounters)
     JsonValue root;
     JsonParser p(first);
     ASSERT_TRUE(p.parse(root)) << first;
-    EXPECT_EQ(root.at("schema_version").num, 1.0);
+    EXPECT_EQ(root.at("schema_version").num, 2.0);
     EXPECT_GT(root.at("cycle").num, 0.0);
     EXPECT_EQ(root.at("num_cores").num, 1.0);
+    // Schema 2 appends a host-side "sim" subtree (meta counters that
+    // describe the simulator, not the simulated machine).
+    ASSERT_TRUE(root.has("sim"));
+    ASSERT_TRUE(root.at("sim").has("groups"));
     ASSERT_TRUE(root.has("groups"));
     const JsonValue &groups = root.at("groups");
     ASSERT_TRUE(groups.has("core0.ooo1"));
@@ -680,7 +684,7 @@ TEST(Manifest, WritesValidJsonWithJobRecords)
     EXPECT_EQ(written, path);
 
     JsonValue root = parseFile(path);
-    EXPECT_EQ(root.at("schema_version").num, 1.0);
+    EXPECT_EQ(root.at("schema_version").num, 2.0);
     EXPECT_EQ(root.at("experiment").str, "trace_test");
     EXPECT_TRUE(root.at("deterministic_inputs").b);
     ASSERT_TRUE(root.has("host"));
