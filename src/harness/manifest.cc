@@ -106,8 +106,12 @@ writeRunManifest(const std::vector<RegionJob> &jobs,
         w.kv("max_queue_depth", pool->maxQueueDepth());
         w.endObject();
     }
-    w.key("snapshot_cache");
-    SnapshotCache::instance().dumpStatsJson(w);
+    // Process-wide singleton caches via the same hook registry the
+    // stats "sim" subtree uses: "snapshot_cache" always (touching
+    // the singleton registers its hook), "result_store" whenever the
+    // service library is linked and its store has been constructed.
+    SnapshotCache::instance();
+    prof::dumpMetaHooks(w);
     // Process-wide host-time attribution (only populated when
     // REMAP_PROFILE was set for the run).
     if (prof::envEnabled()) {

@@ -176,6 +176,20 @@ JobPool::JobPool(unsigned workers)
     : impl_(nullptr),
       numWorkers_(workers > 0 ? workers : defaultWorkers())
 {
+    // Say once which worker count won and why — a single-core host
+    // that set REMAP_JOBS=8 should be able to see the override took
+    // (and a silently-serial run should be explainable from the log).
+    static std::once_flag log_once;
+    std::call_once(log_once, [this, workers] {
+        const char *env = std::getenv("REMAP_JOBS");
+        REMAP_INFORM(
+            "job pool: %u worker%s (%s, hardware_concurrency=%u)",
+            numWorkers_, numWorkers_ == 1 ? "" : "s",
+            workers > 0       ? "explicit"
+            : env             ? "REMAP_JOBS override"
+                              : "hardware default",
+            std::thread::hardware_concurrency());
+    });
     impl_ = new Impl(numWorkers_);
     if (numWorkers_ > 1) {
         impl_->threads.reserve(numWorkers_);

@@ -1,0 +1,413 @@
+#include "service/job_codec.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/json.hh"
+#include "sim/json_value.hh"
+
+namespace remap::service
+{
+
+using workloads::RunSpec;
+using workloads::Variant;
+
+namespace
+{
+
+/** 16-digit hex rendering of a 64-bit hash (manifest convention:
+ *  64-bit integers don't survive a double-typed JSON number). */
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+parseHex64(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty() || s.size() > 16)
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            v |= static_cast<std::uint64_t>(c - 'A' + 10);
+        else
+            return false;
+    }
+    *out = v;
+    return true;
+}
+
+/** Every Variant value, for name round-tripping. */
+constexpr Variant kAllVariants[] = {
+    Variant::Seq,           Variant::SeqOoo2,
+    Variant::Comp,          Variant::Comm,
+    Variant::CompComm,      Variant::Ooo2Comm,
+    Variant::SwQueue,       Variant::SwBarrier,
+    Variant::HwBarrier,     Variant::HwBarrierComp,
+    Variant::HomogBarrier,
+};
+
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+
+/** Non-negative integral member @p key of @p obj, with default. */
+bool
+readUnsigned(const json::Value &obj, const char *key, unsigned *out,
+             std::string *error)
+{
+    if (!obj.has(key))
+        return true;
+    const json::Value &v = obj.at(key);
+    if (!v.isNumber() || v.num < 0 || v.num != std::floor(v.num))
+        return fail(error, std::string("'") + key +
+                               "' must be a non-negative integer");
+    *out = static_cast<unsigned>(v.num);
+    return true;
+}
+
+/** Parse one job object (shared by batch requests and job lines). */
+bool
+parseJobObject(const json::Value &j, JobRequest *out,
+               std::string *error)
+{
+    if (!j.isObject())
+        return fail(error, "job must be an object");
+    if (!j.has("workload") || !j.at("workload").isString())
+        return fail(error, "job missing string 'workload'");
+    out->workload = j.at("workload").str;
+    out->info = findWorkload(out->workload);
+    if (!out->info)
+        return fail(error,
+                    "unknown workload '" + out->workload + "'");
+
+    out->spec = RunSpec{};
+    if (j.has("variant")) {
+        if (!j.at("variant").isString() ||
+            !variantFromName(j.at("variant").str,
+                             &out->spec.variant))
+            return fail(error, "unknown variant '" +
+                                   j.at("variant").str + "'");
+    }
+    if (!variantValidForMode(out->info->mode, out->spec.variant))
+        return fail(error,
+                    std::string("variant '") +
+                        workloads::variantName(out->spec.variant) +
+                        "' invalid for workload '" + out->workload +
+                        "'");
+    if (j.has("spec")) {
+        const json::Value &s = j.at("spec");
+        if (!s.isObject())
+            return fail(error, "'spec' must be an object");
+        if (!readUnsigned(s, "problem_size",
+                          &out->spec.problemSize, error) ||
+            !readUnsigned(s, "threads", &out->spec.threads, error) ||
+            !readUnsigned(s, "copies", &out->spec.copies, error) ||
+            !readUnsigned(s, "iterations", &out->spec.iterations,
+                          error))
+            return false;
+    }
+    out->poison =
+        j.has("poison") && j.at("poison").isBool() &&
+        j.at("poison").boolean;
+    return true;
+}
+
+void
+writeJobObject(json::Writer &w, const JobRequest &job)
+{
+    w.beginObject();
+    w.kv("workload", job.workload);
+    w.kv("variant", workloads::variantName(job.spec.variant));
+    w.key("spec");
+    w.beginObject();
+    w.kv("problem_size", job.spec.problemSize);
+    w.kv("threads", job.spec.threads);
+    w.kv("copies", job.spec.copies);
+    w.kv("iterations", job.spec.iterations);
+    w.endObject();
+    if (job.poison)
+        w.kv("poison", true);
+    w.endObject();
+}
+
+} // namespace
+
+const workloads::WorkloadInfo *
+findWorkload(const std::string &name)
+{
+    for (const workloads::WorkloadInfo &w : workloads::registry())
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+bool
+variantFromName(const std::string &name, Variant *out)
+{
+    for (Variant v : kAllVariants) {
+        if (name == workloads::variantName(v)) {
+            *out = v;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+variantValidForMode(workloads::Mode mode, Variant v)
+{
+    switch (mode) {
+      case workloads::Mode::ComputeOnly:
+        return v == Variant::Seq || v == Variant::SeqOoo2 ||
+               v == Variant::Comp;
+      case workloads::Mode::CommComp:
+        return v == Variant::Seq || v == Variant::SeqOoo2 ||
+               v == Variant::Comp || v == Variant::Comm ||
+               v == Variant::CompComm || v == Variant::Ooo2Comm ||
+               v == Variant::SwQueue;
+      case workloads::Mode::Barrier:
+        return v == Variant::Seq || v == Variant::SwBarrier ||
+               v == Variant::HwBarrier ||
+               v == Variant::HwBarrierComp ||
+               v == Variant::HomogBarrier;
+    }
+    return false;
+}
+
+bool
+parseBatchRequest(std::string_view text, BatchRequest *out,
+                  std::string *error)
+{
+    json::Value root;
+    std::string perr;
+    if (!json::parse(text, root, &perr))
+        return fail(error, "bad request JSON: " + perr);
+    if (!root.isObject() || !root.has("jobs") ||
+        !root.at("jobs").isArray())
+        return fail(error, "request must be {\"jobs\": [...]}");
+
+    out->label = root.has("label") && root.at("label").isString()
+                     ? root.at("label").str
+                     : "batch";
+    out->jobs.clear();
+    const auto &jobs = root.at("jobs").arr;
+    if (jobs.empty())
+        return fail(error, "request has no jobs");
+    out->jobs.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        JobRequest job;
+        std::string jerr;
+        if (!parseJobObject(jobs[i], &job, &jerr))
+            return fail(error,
+                        "job " + std::to_string(i) + ": " + jerr);
+        out->jobs.push_back(std::move(job));
+    }
+    return true;
+}
+
+void
+writeBatchRequest(std::ostream &os, const BatchRequest &batch)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("label", batch.label);
+    w.key("jobs");
+    w.beginArray();
+    for (const JobRequest &job : batch.jobs)
+        writeJobObject(w, job);
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeRegionResultJson(json::Writer &w,
+                      const harness::RegionResult &res)
+{
+    w.beginObject();
+    w.kv("cycles", static_cast<std::uint64_t>(res.cycles));
+    w.kvExact("energy_j", res.energyJ);
+    w.kvExact("work_units", res.work);
+    w.kv("insts", res.insts);
+    w.kv("config_hash", hex64(res.configHash));
+    w.kv("warm_started", res.warmStarted);
+    w.kv("snapshot_boundary",
+         static_cast<std::uint64_t>(res.snapshotBoundary));
+    if (!res.hostPhaseMs.empty()) {
+        w.key("host_ms");
+        w.beginObject();
+        for (const auto &[phase, ms] : res.hostPhaseMs)
+            w.kvExact(phase, ms);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+bool
+parseRegionResult(const json::Value &v, harness::RegionResult *out,
+                  std::string *error)
+{
+    if (!v.isObject())
+        return fail(error, "result must be an object");
+    for (const char *key : {"cycles", "energy_j", "work_units",
+                            "insts", "snapshot_boundary"})
+        if (!v.has(key) || !v.at(key).isNumber())
+            return fail(error, std::string("result missing number '") +
+                                   key + "'");
+    *out = harness::RegionResult{};
+    out->cycles = static_cast<Cycle>(v.at("cycles").num);
+    out->energyJ = v.at("energy_j").num;
+    out->work = v.at("work_units").num;
+    out->insts = static_cast<std::uint64_t>(v.at("insts").num);
+    out->snapshotBoundary =
+        static_cast<Cycle>(v.at("snapshot_boundary").num);
+    if (v.has("warm_started") && v.at("warm_started").isBool())
+        out->warmStarted = v.at("warm_started").boolean;
+    if (!v.has("config_hash") || !v.at("config_hash").isString() ||
+        !parseHex64(v.at("config_hash").str, &out->configHash))
+        return fail(error, "result missing hex 'config_hash'");
+    if (v.has("host_ms") && v.at("host_ms").isObject())
+        for (const auto &[phase, ms] : v.at("host_ms").obj)
+            if (ms.isNumber())
+                out->hostPhaseMs.emplace_back(phase, ms.num);
+    return true;
+}
+
+void
+writeResultLine(std::ostream &os, const JobOutcome &o)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("type", "result");
+    w.kv("id", static_cast<std::uint64_t>(o.id));
+    w.kv("status", o.ok ? "ok" : "failed");
+    if (!o.ok) {
+        w.kv("error", o.error);
+    } else {
+        w.key("result");
+        writeRegionResultJson(w, o.result);
+    }
+    w.kv("source", o.source == ResultSource::ResultStore
+                       ? "result_store"
+                       : "simulated");
+    w.kv("retried", o.retried);
+    w.kv("worker", o.worker);
+    w.kvExact("wall_ms", o.wallMs);
+    w.endObject();
+}
+
+bool
+parseResultLine(std::string_view text, JobOutcome *out,
+                std::string *error)
+{
+    json::Value root;
+    std::string perr;
+    if (!json::parse(text, root, &perr))
+        return fail(error, "bad result JSON: " + perr);
+    if (!root.isObject() || !root.has("id") ||
+        !root.at("id").isNumber() || !root.has("status") ||
+        !root.at("status").isString())
+        return fail(error, "result line missing id/status");
+    *out = JobOutcome{};
+    out->id = static_cast<std::size_t>(root.at("id").num);
+    out->ok = root.at("status").str == "ok";
+    if (out->ok) {
+        if (!root.has("result"))
+            return fail(error, "ok result line missing 'result'");
+        if (!parseRegionResult(root.at("result"), &out->result,
+                               error))
+            return false;
+    } else if (root.has("error") && root.at("error").isString()) {
+        out->error = root.at("error").str;
+    }
+    if (root.has("source") && root.at("source").isString())
+        out->source = root.at("source").str == "result_store"
+                          ? ResultSource::ResultStore
+                          : ResultSource::Simulated;
+    if (root.has("retried") && root.at("retried").isBool())
+        out->retried = root.at("retried").boolean;
+    if (root.has("worker") && root.at("worker").isNumber())
+        out->worker = static_cast<unsigned>(root.at("worker").num);
+    if (root.has("wall_ms") && root.at("wall_ms").isNumber())
+        out->wallMs = root.at("wall_ms").num;
+    return true;
+}
+
+void
+writeJobLine(std::ostream &os, std::size_t id, const JobRequest &job)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("id", static_cast<std::uint64_t>(id));
+    w.kv("workload", job.workload);
+    w.kv("variant", workloads::variantName(job.spec.variant));
+    w.key("spec");
+    w.beginObject();
+    w.kv("problem_size", job.spec.problemSize);
+    w.kv("threads", job.spec.threads);
+    w.kv("copies", job.spec.copies);
+    w.kv("iterations", job.spec.iterations);
+    w.endObject();
+    if (job.poison)
+        w.kv("poison", true);
+    w.endObject();
+}
+
+bool
+parseJobLine(std::string_view text, std::size_t *id, JobRequest *out,
+             std::string *error)
+{
+    json::Value root;
+    std::string perr;
+    if (!json::parse(text, root, &perr))
+        return fail(error, "bad job JSON: " + perr);
+    if (!root.isObject() || !root.has("id") ||
+        !root.at("id").isNumber())
+        return fail(error, "job line missing 'id'");
+    *id = static_cast<std::size_t>(root.at("id").num);
+    return parseJobObject(root, out, error);
+}
+
+BatchRequest
+smokeSweepBatch()
+{
+    BatchRequest batch;
+    batch.label = "smoke";
+    auto add = [&batch](const char *workload, Variant v,
+                        unsigned size, unsigned threads) {
+        JobRequest job;
+        job.workload = workload;
+        job.info = findWorkload(workload);
+        job.spec.variant = v;
+        job.spec.problemSize = size;
+        job.spec.threads = threads;
+        batch.jobs.push_back(std::move(job));
+    };
+    // One sequential baseline, SPL-barrier points at two sizes and
+    // thread counts, a barrier+compute point and a compute-mode
+    // region: small enough to finish in seconds, wide enough to
+    // touch the SPL modes the paper sweeps.
+    add("ll2", Variant::Seq, 32, 1);
+    add("ll2", Variant::HwBarrier, 32, 8);
+    add("ll3", Variant::HwBarrier, 64, 8);
+    add("ll3", Variant::HwBarrierComp, 64, 8);
+    add("dijkstra", Variant::HwBarrier, 32, 8);
+    add("wc", Variant::Seq, 0, 1);
+    return batch;
+}
+
+} // namespace remap::service

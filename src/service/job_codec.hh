@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Wire format of the simulation service: JSON batch requests in,
+ * JSON-lines job results out.
+ *
+ * A batch request is one JSON object per line:
+ *
+ *   {"label": "smoke",
+ *    "jobs": [{"workload": "ll2", "variant": "HwBarrier",
+ *              "spec": {"problem_size": 32, "threads": 8,
+ *                       "copies": 1, "iterations": 0}}, ...]}
+ *
+ * Every job is validated against the workload registry and the
+ * variant-name table before anything simulates; a request naming an
+ * unknown workload/variant is rejected as a whole with a job-indexed
+ * error (the service must never fatal on user input).
+ *
+ * Result lines carry the full RegionResult with round-trip-exact
+ * doubles (json::Writer::kvExact), so a result that travelled
+ * parent -> worker -> parent -> store -> client compares bit-equal
+ * to the in-process harness::runRegions value — the property the
+ * service differential test enforces.
+ */
+
+#ifndef REMAP_SERVICE_JOB_CODEC_HH
+#define REMAP_SERVICE_JOB_CODEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+namespace remap::json
+{
+class Writer;
+struct Value;
+}
+
+namespace remap::service
+{
+
+/** One requested region simulation, registry-resolved. */
+struct JobRequest
+{
+    std::string workload;
+    workloads::RunSpec spec{};
+    /** Resolved registry entry (filled by parseBatchRequest). */
+    const workloads::WorkloadInfo *info = nullptr;
+    /** Fault-injection marker: the first worker handed this job
+     *  kills itself before simulating (honored only when the worker
+     *  runs with REMAP_SERVICE_POISON=1; cleared on retry). Exists so
+     *  tests and drills can exercise the crash-recovery path. */
+    bool poison = false;
+};
+
+/** One parsed batch of jobs. */
+struct BatchRequest
+{
+    std::string label; ///< manifest/log label ("batch" when absent)
+    std::vector<JobRequest> jobs;
+};
+
+/** Registry lookup that returns null instead of fataling. */
+const workloads::WorkloadInfo *findWorkload(const std::string &name);
+
+/** Inverse of workloads::variantName(); false on unknown names. */
+bool variantFromName(const std::string &name, workloads::Variant *out);
+
+/**
+ * True when @p v is a variant the factories of @p mode accept
+ * (mirrors the per-mode config switches in src/workloads; the
+ * factories REMAP_FATAL on anything else, which a daemon must never
+ * let user input reach).
+ */
+bool variantValidForMode(workloads::Mode mode, workloads::Variant v);
+
+/**
+ * Parse + validate one batch request line. On failure @p error (when
+ * non-null) describes the offending job by index and nothing in
+ * @p out is meaningful.
+ */
+bool parseBatchRequest(std::string_view text, BatchRequest *out,
+                       std::string *error);
+
+/** Serialize @p batch as one request line (no trailing newline). */
+void writeBatchRequest(std::ostream &os, const BatchRequest &batch);
+
+/** Where a served result came from. */
+enum class ResultSource
+{
+    Simulated,   ///< a worker ran the region this batch
+    ResultStore, ///< answered from the content-addressed store
+};
+
+/** One job's outcome, as streamed back to the client. */
+struct JobOutcome
+{
+    std::size_t id = 0; ///< index into the batch's job array
+    bool ok = false;
+    std::string error; ///< failure description when !ok
+    harness::RegionResult result;
+    ResultSource source = ResultSource::Simulated;
+    bool retried = false; ///< re-ran after a worker death
+    unsigned worker = 0;  ///< worker slot that simulated it
+    double wallMs = 0.0;  ///< host ms from dispatch to result
+};
+
+/** Emit @p res as one JSON object value (exact doubles). */
+void writeRegionResultJson(json::Writer &w,
+                           const harness::RegionResult &res);
+
+/** Parse a writeRegionResultJson() object back. */
+bool parseRegionResult(const json::Value &v,
+                       harness::RegionResult *out, std::string *error);
+
+/**
+ * Serialize @p o as one result line: {"type":"result","id":...,
+ * "status":"ok"|"failed",...}. Workers emit these over their stdout
+ * pipe; the daemon re-emits them to the client augmented with
+ * source/worker/wall_ms.
+ */
+void writeResultLine(std::ostream &os, const JobOutcome &o);
+
+/** Parse a writeResultLine() line. */
+bool parseResultLine(std::string_view text, JobOutcome *out,
+                     std::string *error);
+
+/** Serialize one job as the parent->worker job line. */
+void writeJobLine(std::ostream &os, std::size_t id,
+                  const JobRequest &job);
+
+/** Parse a writeJobLine() line (registry-validated). */
+bool parseJobLine(std::string_view text, std::size_t *id,
+                  JobRequest *out, std::string *error);
+
+/**
+ * The canonical tiny "smoke sweep": a handful of fast regions
+ * covering barrier sweeps, SPL computation and a sequential baseline.
+ * Shared by the service differential tests, the fast-path
+ * differential smoke pass (tests/region_jobs.hh wraps it) and the CI
+ * service smoke job (`remapd smoke-request` emits it), so the three
+ * never drift apart.
+ */
+BatchRequest smokeSweepBatch();
+
+} // namespace remap::service
+
+#endif // REMAP_SERVICE_JOB_CODEC_HH

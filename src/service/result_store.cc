@@ -1,0 +1,333 @@
+#include "service/result_store.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "service/job_codec.hh"
+#include "sim/json.hh"
+#include "sim/json_value.hh"
+#include "sim/logging.hh"
+#include "sim/profile.hh"
+#include "sim/snapshot.hh"
+
+namespace remap::service
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0') {
+        REMAP_WARN("ignoring unparseable %s='%s'", name, v);
+        return fallback;
+    }
+    return parsed;
+}
+
+} // namespace
+
+ResultStore::ResultStore()
+{
+    capBytes_ = static_cast<std::size_t>(
+                    envU64("REMAP_RESULTS_MEM", 64)) *
+                1024 * 1024;
+    if (const char *dir = std::getenv("REMAP_RESULTS"); dir && *dir)
+        setDiskDir(dir);
+    // Surface the store in every stats dump's "sim" subtree and in
+    // run manifests, next to the snapshot cache.
+    prof::setMetaJsonHook("result_store", [](json::Writer &w) {
+        ResultStore::instance().dumpStatsJson(w);
+    });
+}
+
+ResultStore &
+ResultStore::instance()
+{
+    static ResultStore store;
+    return store;
+}
+
+void
+ResultStore::setEnabled(bool on)
+{
+    std::lock_guard lock(mu_);
+    enabled_ = on;
+}
+
+bool
+ResultStore::enabled() const
+{
+    std::lock_guard lock(mu_);
+    return enabled_;
+}
+
+void
+ResultStore::setMemoryCapBytes(std::size_t cap)
+{
+    std::lock_guard lock(mu_);
+    capBytes_ = cap;
+    evictLocked();
+}
+
+void
+ResultStore::setDiskDir(const std::string &dir)
+{
+    std::string resolved;
+    if (!dir.empty()) {
+        std::error_code ec;
+        fs::create_directories(dir, ec);
+        if (ec) {
+            REMAP_WARN("result store: cannot create '%s' (%s); disk "
+                       "persistence disabled",
+                       dir.c_str(), ec.message().c_str());
+        } else {
+            resolved = dir;
+        }
+    }
+    std::lock_guard lock(mu_);
+    diskDir_ = resolved;
+}
+
+void
+ResultStore::clear()
+{
+    std::lock_guard lock(mu_);
+    entries_.clear();
+    bytes_ = 0;
+    stats_.bytes = 0;
+    stats_.entries = 0;
+}
+
+std::size_t
+ResultStore::entryBytes(const std::string &key,
+                        const harness::RegionResult &res)
+{
+    std::size_t b = key.size() + sizeof(Entry);
+    for (const auto &[phase, ms] : res.hostPhaseMs)
+        b += phase.size() + sizeof(ms);
+    return b;
+}
+
+std::string
+ResultStore::diskPath(const std::string &key) const
+{
+    if (diskDir_.empty())
+        return {};
+    snap::Hasher h;
+    h.str(key);
+    char name[40];
+    std::snprintf(name, sizeof(name), "%016llx.result.json",
+                  static_cast<unsigned long long>(h.value()));
+    return (fs::path(diskDir_) / name).string();
+}
+
+bool
+ResultStore::lookup(const std::string &key,
+                    std::uint64_t config_hash,
+                    harness::RegionResult *out)
+{
+    std::string disk_path;
+    {
+        std::lock_guard lock(mu_);
+        if (!enabled_)
+            return false;
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            it->second.lastUse = ++useClock_;
+            ++stats_.hits;
+            *out = it->second.result;
+            return true;
+        }
+        disk_path = diskPath(key);
+        if (disk_path.empty()) {
+            ++stats_.misses;
+            return false;
+        }
+    }
+
+    // Disk probe outside the lock: file I/O must not serialize the
+    // daemon's batch loop.
+    std::ifstream in(disk_path);
+    if (!in) {
+        std::lock_guard lock(mu_);
+        ++stats_.misses;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    json::Value root;
+    std::string error;
+    harness::RegionResult parsed;
+    bool valid = json::parse(text, root, &error) && root.isObject() &&
+                 root.has("key") && root.at("key").isString() &&
+                 root.at("key").str == key && root.has("result") &&
+                 parseRegionResult(root.at("result"), &parsed,
+                                   &error);
+    if (valid && parsed.configHash != config_hash) {
+        error = "config-hash mismatch";
+        valid = false;
+    }
+    if (!valid) {
+        REMAP_WARN("result store: ignoring stale/corrupt '%s' (%s)",
+                   disk_path.c_str(), error.c_str());
+        std::lock_guard lock(mu_);
+        ++stats_.rejected;
+        ++stats_.misses;
+        return false;
+    }
+
+    std::lock_guard lock(mu_);
+    Entry &e = entries_[key];
+    if (e.bytes == 0) {
+        e.result = parsed;
+        e.bytes = entryBytes(key, parsed);
+        bytes_ += e.bytes;
+    }
+    e.lastUse = ++useClock_;
+    ++stats_.hits;
+    ++stats_.diskLoads;
+    stats_.bytes = bytes_;
+    stats_.entries = entries_.size();
+    evictLocked();
+    *out = e.result;
+    return true;
+}
+
+void
+ResultStore::store(const std::string &key, std::uint64_t config_hash,
+                   const harness::RegionResult &res)
+{
+    std::string disk_path;
+    {
+        std::lock_guard lock(mu_);
+        if (!enabled_)
+            return;
+        Entry &e = entries_[key];
+        if (e.bytes != 0)
+            bytes_ -= e.bytes;
+        e.result = res;
+        e.bytes = entryBytes(key, res);
+        e.lastUse = ++useClock_;
+        bytes_ += e.bytes;
+        ++stats_.stores;
+        stats_.bytes = bytes_;
+        stats_.entries = entries_.size();
+        evictLocked();
+        disk_path = diskPath(key);
+    }
+    if (disk_path.empty())
+        return;
+
+    // Atomic publication: temp file + rename, thread-id-suffixed so
+    // concurrent writers never collide (same discipline as the
+    // snapshot cache's REMAP_CKPT files).
+    const std::string tmp =
+        disk_path + ".tmp" +
+        std::to_string(static_cast<unsigned long long>(
+            std::hash<std::thread::id>{}(
+                std::this_thread::get_id())));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            REMAP_WARN("result store: cannot write '%s'",
+                       tmp.c_str());
+            return;
+        }
+        json::Writer w(out);
+        w.beginObject();
+        w.kv("key", key);
+        char hash[17];
+        std::snprintf(hash, sizeof(hash), "%016llx",
+                      static_cast<unsigned long long>(config_hash));
+        w.kv("config_hash", hash);
+        w.key("result");
+        writeRegionResultJson(w, res);
+        w.endObject();
+        out << '\n';
+        if (!out) {
+            REMAP_WARN("result store: short write to '%s'",
+                       tmp.c_str());
+            out.close();
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), disk_path.c_str()) != 0) {
+        REMAP_WARN("result store: rename '%s' -> '%s' failed",
+                   tmp.c_str(), disk_path.c_str());
+        std::remove(tmp.c_str());
+    }
+}
+
+void
+ResultStore::evictLocked()
+{
+    while (bytes_ > capBytes_ && entries_.size() > 1) {
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it)
+            if (it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        bytes_ -= victim->second.bytes;
+        entries_.erase(victim);
+        ++stats_.evictions;
+    }
+    stats_.bytes = bytes_;
+    stats_.entries = entries_.size();
+}
+
+ResultStore::Stats
+ResultStore::stats() const
+{
+    std::lock_guard lock(mu_);
+    return stats_;
+}
+
+void
+ResultStore::dumpStatsJson(json::Writer &w) const
+{
+    const Stats st = stats();
+    w.beginObject();
+    w.kv("hits", st.hits);
+    w.kv("misses", st.misses);
+    w.kv("stores", st.stores);
+    w.kv("disk_loads", st.diskLoads);
+    w.kv("rejected", st.rejected);
+    w.kv("evictions", st.evictions);
+    w.kv("bytes", static_cast<std::uint64_t>(st.bytes));
+    w.kv("entries", static_cast<std::uint64_t>(st.entries));
+    w.endObject();
+}
+
+std::string
+ResultStore::summary() const
+{
+    const Stats st = stats();
+    char buf[192];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%llu hits, %llu misses, %llu stored (%zu resident, "
+        "%llu from disk, %llu evicted)",
+        static_cast<unsigned long long>(st.hits),
+        static_cast<unsigned long long>(st.misses),
+        static_cast<unsigned long long>(st.stores), st.entries,
+        static_cast<unsigned long long>(st.diskLoads),
+        static_cast<unsigned long long>(st.evictions));
+    return buf;
+}
+
+} // namespace remap::service

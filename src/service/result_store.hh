@@ -1,0 +1,144 @@
+/**
+ * @file
+ * ResultStore — content-addressed store of finished RegionResults.
+ *
+ * The service's sweep traffic is thousands of near-duplicate
+ * region/sweep requests; most of them have been simulated before.
+ * Where the SnapshotCache shortens a re-run by restoring warmed
+ * simulator state, the ResultStore eliminates it: a key that was
+ * simulated once is answered with the stored RegionResult, no System
+ * ever constructed past the config-hash probe.
+ *
+ * Keys are SnapshotCache::makeKey(workload, spec, configHash) — the
+ * exact keying the snapshot cache already uses, so any change to the
+ * simulated configuration (core/mem/SPL parameters, SPL functions,
+ * thread programs, snapshot format) is a different key and a stale
+ * result can never be served. Results are bit-exact: stored doubles
+ * round-trip through %.17g, so a store-served result compares equal
+ * to the in-process harness::runRegions value (enforced by
+ * tests/test_service.cc).
+ *
+ * Tiers:
+ *  - in-memory LRU, capped by REMAP_RESULTS_MEM megabytes
+ *    (default 64);
+ *  - optional on-disk persistence when REMAP_RESULTS names a
+ *    directory: one JSON file per key, written atomically
+ *    (tmp + rename), validated (key + config-hash) before being
+ *    trusted — corrupt or stale files count as misses, never fatal.
+ *
+ * Stats feed the "sim" telemetry subtree (meta-JSON hook
+ * "result_store", same mechanism as the snapshot cache) and run
+ * manifests.
+ */
+
+#ifndef REMAP_SERVICE_RESULT_STORE_HH
+#define REMAP_SERVICE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "harness/experiment.hh"
+
+namespace remap::json
+{
+class Writer;
+}
+
+namespace remap::service
+{
+
+/** Process-wide content-addressed store of region results. */
+class ResultStore
+{
+  public:
+    /** Monotonic hit/miss and size accounting. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;      ///< lookups served (memory/disk)
+        std::uint64_t misses = 0;    ///< lookups with nothing stored
+        std::uint64_t stores = 0;    ///< results recorded
+        std::uint64_t diskLoads = 0; ///< hits satisfied from disk
+        std::uint64_t rejected = 0;  ///< corrupt/stale files ignored
+        std::uint64_t evictions = 0; ///< entries dropped by the cap
+        std::size_t bytes = 0;       ///< approx resident bytes
+        std::size_t entries = 0;     ///< resident entries
+    };
+
+    /** The process-wide instance (reads the environment once). */
+    static ResultStore &instance();
+
+    /** Globally enable/disable (disabled: lookups miss silently,
+     *  stores drop). */
+    void setEnabled(bool on);
+    bool enabled() const;
+
+    /** Cap on resident in-memory bytes (LRU eviction). */
+    void setMemoryCapBytes(std::size_t cap);
+
+    /** Point on-disk persistence at @p dir (created if absent; empty
+     *  turns persistence off). Normally set once from REMAP_RESULTS;
+     *  exposed for tests and the daemon's flags. */
+    void setDiskDir(const std::string &dir);
+
+    /** Drop every in-memory entry (disk files are untouched). */
+    void clear();
+
+    /**
+     * Fetch the result stored for @p key, memory first, then disk.
+     * Disk hits are validated (stored key and config-hash must match)
+     * before being returned and promoted to memory; failures count as
+     * misses + rejections.
+     */
+    bool lookup(const std::string &key, std::uint64_t config_hash,
+                harness::RegionResult *out);
+
+    /** Record @p res for @p key (last write wins; results for one
+     *  key are bit-identical by construction). */
+    void store(const std::string &key, std::uint64_t config_hash,
+               const harness::RegionResult &res);
+
+    /** Current accounting. */
+    Stats stats() const;
+
+    /** Emit the Stats fields as one JSON object value. Registered as
+     *  meta-JSON hook "result_store" so stats dumps and manifests
+     *  report the store wherever the snapshot cache is reported. */
+    void dumpStatsJson(json::Writer &w) const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+
+  private:
+    ResultStore();
+
+    struct Entry
+    {
+        harness::RegionResult result;
+        std::size_t bytes = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Approximate resident footprint of one entry. */
+    static std::size_t entryBytes(const std::string &key,
+                                  const harness::RegionResult &res);
+
+    /** Evict LRU entries until under the cap. Caller holds mu_. */
+    void evictLocked();
+    /** Disk path for @p key (empty when persistence is off). */
+    std::string diskPath(const std::string &key) const;
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, Entry> entries_;
+    std::size_t bytes_ = 0;
+    std::size_t capBytes_;
+    std::uint64_t useClock_ = 0;
+    bool enabled_ = true;
+    std::string diskDir_; ///< empty = no on-disk persistence
+    Stats stats_;
+};
+
+} // namespace remap::service
+
+#endif // REMAP_SERVICE_RESULT_STORE_HH

@@ -1,0 +1,614 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <streambuf>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "harness/manifest.hh"
+#include "harness/parallel.hh"
+#include "harness/snapshot_cache.hh"
+#include "service/result_store.hh"
+#include "sim/json.hh"
+#include "sim/json_value.hh"
+#include "sim/logging.hh"
+
+namespace remap::service
+{
+
+namespace
+{
+
+double
+elapsedMs(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+void
+emitLine(std::ostream &out, const JobOutcome &o)
+{
+    std::ostringstream os;
+    writeResultLine(os, o);
+    out << os.str() << '\n';
+    out.flush();
+}
+
+} // namespace
+
+/** One worker process plus its partial-line read buffer. */
+struct SweepService::Slot
+{
+    WorkerProcess proc;
+    std::string buf;
+    long inflight = -1; ///< batch job index, -1 when idle
+    std::chrono::steady_clock::time_point t0{};
+    bool didWork = false; ///< dispatched at least one job this batch
+};
+
+SweepService::SweepService(ServiceOptions opts)
+    : opts_(std::move(opts)),
+      numWorkers_(opts_.workers > 0
+                      ? opts_.workers
+                      : harness::JobPool::defaultWorkers()),
+      exe_(opts_.exePath.empty() ? selfExePath(nullptr)
+                                 : opts_.exePath)
+{
+    // A dead worker's stdin pipe must surface as a write error, not
+    // a process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+    slots_.resize(numWorkers_);
+}
+
+SweepService::~SweepService() = default;
+
+bool
+SweepService::ensureWorker(Slot &s)
+{
+    if (s.proc.running())
+        return true;
+    s.buf.clear();
+    if (!s.proc.spawn(exe_)) {
+        REMAP_WARN("remapd: cannot spawn worker '%s'", exe_.c_str());
+        return false;
+    }
+    return true;
+}
+
+BatchSummary
+SweepService::runBatch(const BatchRequest &batch, std::ostream &out,
+                       std::vector<JobOutcome> *outcomes_out)
+{
+    const std::size_t n = batch.jobs.size();
+    BatchSummary summary;
+    summary.jobs = n;
+
+    // Local copy: retries clear the poison marker so a fault-injected
+    // job succeeds on its second worker.
+    std::vector<JobRequest> jobs = batch.jobs;
+    std::vector<JobOutcome> outcomes(n);
+    std::vector<bool> done(n, false);
+    std::vector<bool> retriedOnce(n, false);
+    std::deque<std::size_t> pending;
+    std::size_t completed = 0;
+    ResultStore &store = ResultStore::instance();
+
+    auto finish = [&](std::size_t i, JobOutcome o) {
+        o.id = i;
+        outcomes[i] = o;
+        done[i] = true;
+        ++completed;
+        emitLine(out, outcomes[i]);
+    };
+
+    // Stage 1 — content-addressed store probe. Building the System
+    // (never running it) yields the configHash the key needs; for a
+    // hit that construction is the entire cost of the job.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!jobs[i].info) {
+            JobOutcome o;
+            o.ok = false;
+            o.error = "unresolved workload '" + jobs[i].workload + "'";
+            finish(i, o);
+            continue;
+        }
+        if (!opts_.useStore) {
+            pending.push_back(i);
+            continue;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        workloads::PreparedRun probe = jobs[i].info->make(jobs[i].spec);
+        const std::uint64_t hash = probe.system->configHash();
+        const std::string key = harness::SnapshotCache::makeKey(
+            jobs[i].info->name, jobs[i].spec, hash);
+        harness::RegionResult cached;
+        if (store.lookup(key, hash, &cached)) {
+            JobOutcome o;
+            o.ok = true;
+            o.result = cached;
+            o.source = ResultSource::ResultStore;
+            o.wallMs = elapsedMs(t0);
+            ++summary.storeHits;
+            finish(i, o);
+        } else {
+            pending.push_back(i);
+        }
+    }
+
+    // Stage 2 — deal misses across worker processes, one in flight
+    // per worker; completion-order streaming, job-indexed lines.
+    auto handleDeath = [&](Slot &s) {
+        s.proc.close();
+        s.buf.clear();
+        const long job = s.inflight;
+        s.inflight = -1;
+        if (job < 0)
+            return;
+        const auto j = static_cast<std::size_t>(job);
+        if (!retriedOnce[j]) {
+            retriedOnce[j] = true;
+            jobs[j].poison = false;
+            ++summary.retried;
+            REMAP_WARN("remapd: worker died running job %zu; "
+                       "retrying on a fresh worker",
+                       j);
+            pending.push_front(j);
+        } else {
+            JobOutcome o;
+            o.ok = false;
+            o.error = "worker process died (twice) running this job";
+            o.retried = true;
+            finish(j, o);
+        }
+    };
+
+    auto dispatch = [&](Slot &s, unsigned slot_idx) {
+        while (!pending.empty()) {
+            if (!ensureWorker(s))
+                return false;
+            const std::size_t i = pending.front();
+            pending.pop_front();
+            std::ostringstream os;
+            writeJobLine(os, i, jobs[i]);
+            s.inflight = static_cast<long>(i);
+            s.t0 = std::chrono::steady_clock::now();
+            s.didWork = true;
+            if (s.proc.sendLine(os.str()))
+                return true;
+            handleDeath(s); // requeues i (or fails it) and retries
+        }
+        return false;
+        (void)slot_idx;
+    };
+
+    for (Slot &s : slots_)
+        s.didWork = false;
+
+    const unsigned active = static_cast<unsigned>(
+        std::min<std::size_t>(numWorkers_, pending.size()));
+    for (unsigned w = 0; w < active && !pending.empty(); ++w)
+        dispatch(slots_[w], w);
+
+    while (completed < n) {
+        std::vector<pollfd> fds;
+        std::vector<unsigned> fdSlot;
+        for (unsigned w = 0; w < numWorkers_; ++w) {
+            Slot &s = slots_[w];
+            if (s.inflight >= 0 && s.proc.running()) {
+                fds.push_back(
+                    pollfd{s.proc.readFd(), POLLIN, 0});
+                fdSlot.push_back(w);
+            }
+        }
+        if (fds.empty()) {
+            // No worker is running anything but jobs remain: every
+            // spawn failed. Fail what's left rather than hanging.
+            while (!pending.empty()) {
+                const std::size_t i = pending.front();
+                pending.pop_front();
+                JobOutcome o;
+                o.ok = false;
+                o.error = "no worker processes available";
+                finish(i, o);
+            }
+            break;
+        }
+        if (poll(fds.data(), fds.size(), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            REMAP_WARN("remapd: poll failed (%s)",
+                       std::strerror(errno));
+            break;
+        }
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Slot &s = slots_[fdSlot[k]];
+            char chunk[4096];
+            const ssize_t got =
+                read(s.proc.readFd(), chunk, sizeof(chunk));
+            if (got < 0) {
+                if (errno == EINTR || errno == EAGAIN)
+                    continue;
+                handleDeath(s);
+            } else if (got == 0) {
+                handleDeath(s);
+            } else {
+                s.buf.append(chunk,
+                             static_cast<std::size_t>(got));
+                std::size_t pos;
+                while ((pos = s.buf.find('\n')) !=
+                       std::string::npos) {
+                    const std::string line = s.buf.substr(0, pos);
+                    s.buf.erase(0, pos + 1);
+                    JobOutcome o;
+                    std::string err;
+                    if (!parseResultLine(line, &o, &err)) {
+                        REMAP_WARN("remapd: dropping bad worker "
+                                   "line (%s)",
+                                   err.c_str());
+                        continue;
+                    }
+                    if (s.inflight < 0 ||
+                        o.id != static_cast<std::size_t>(
+                                    s.inflight) ||
+                        done[o.id]) {
+                        REMAP_WARN("remapd: stale result for job "
+                                   "%zu ignored",
+                                   o.id);
+                        continue;
+                    }
+                    o.source = ResultSource::Simulated;
+                    o.worker = fdSlot[k];
+                    o.retried = retriedOnce[o.id];
+                    o.wallMs = elapsedMs(s.t0);
+                    s.inflight = -1;
+                    if (o.ok) {
+                        ++summary.simulated;
+                        if (opts_.useStore) {
+                            const std::string key =
+                                harness::SnapshotCache::makeKey(
+                                    jobs[o.id].info->name,
+                                    jobs[o.id].spec,
+                                    o.result.configHash);
+                            store.store(key, o.result.configHash,
+                                        o.result);
+                        }
+                    }
+                    finish(o.id, o);
+                }
+            }
+            if (s.inflight < 0 && !pending.empty())
+                dispatch(s, fdSlot[k]);
+        }
+        // Replacement capacity: a death may have left idle slots
+        // while jobs queue.
+        for (unsigned w = 0; w < numWorkers_; ++w)
+            if (slots_[w].inflight < 0 && !pending.empty())
+                dispatch(slots_[w], w);
+    }
+
+    for (const Slot &s : slots_)
+        if (s.didWork)
+            ++summary.workersUsed;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (outcomes[i].ok)
+            ++summary.ok;
+        else
+            ++summary.failed;
+    }
+
+    // Run manifest over the whole batch (REMAP_MANIFEST-gated),
+    // store-served and simulated jobs alike.
+    if (harness::manifestsEnabled()) {
+        harness::setExperimentLabel(batch.label);
+        std::vector<harness::RegionJob> mjobs;
+        std::vector<harness::RegionResult> mresults;
+        std::vector<harness::JobTiming> mtimings;
+        mjobs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            mjobs.push_back(
+                harness::RegionJob{jobs[i].info, jobs[i].spec});
+            mresults.push_back(outcomes[i].result);
+            mtimings.push_back(harness::JobTiming{
+                outcomes[i].wallMs, outcomes[i].worker});
+        }
+        summary.manifestPath = harness::writeRunManifest(
+            mjobs, mresults, mtimings, numWorkers_);
+    }
+
+    {
+        json::Writer w(out);
+        w.beginObject();
+        w.kv("type", "summary");
+        w.kv("label", batch.label);
+        w.kv("jobs", static_cast<std::uint64_t>(summary.jobs));
+        w.kv("ok", static_cast<std::uint64_t>(summary.ok));
+        w.kv("failed", static_cast<std::uint64_t>(summary.failed));
+        w.kv("store_hits",
+             static_cast<std::uint64_t>(summary.storeHits));
+        w.kv("simulated",
+             static_cast<std::uint64_t>(summary.simulated));
+        w.kv("retried", static_cast<std::uint64_t>(summary.retried));
+        w.kv("workers", summary.workersUsed);
+        if (opts_.useStore) {
+            w.key("store");
+            store.dumpStatsJson(w);
+        }
+        if (!summary.manifestPath.empty())
+            w.kv("manifest", summary.manifestPath);
+        w.endObject();
+        out << '\n';
+        out.flush();
+    }
+
+    if (outcomes_out)
+        *outcomes_out = std::move(outcomes);
+    return summary;
+}
+
+std::size_t
+SweepService::serveStream(std::istream &in, std::ostream &out)
+{
+    std::size_t failed = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        BatchRequest batch;
+        std::string error;
+        if (!parseBatchRequest(line, &batch, &error)) {
+            json::Writer w(out);
+            w.beginObject();
+            w.kv("type", "error");
+            w.kv("error", error);
+            w.endObject();
+            out << '\n';
+            out.flush();
+            ++failed;
+            continue;
+        }
+        failed += runBatch(batch, out).failed;
+    }
+    return failed;
+}
+
+// ---------------------------------------------------------------- //
+// Unix-socket server + client
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+stopHandler(int)
+{
+    g_stop = 1;
+}
+
+/** Minimal ostream streambuf over a connected socket fd. */
+class FdStreambuf : public std::streambuf
+{
+  public:
+    explicit FdStreambuf(int fd) : fd_(fd) {}
+
+  protected:
+    int
+    overflow(int c) override
+    {
+        if (c == traits_type::eof())
+            return 0;
+        const char ch = static_cast<char>(c);
+        return writeAll(&ch, 1) ? c : traits_type::eof();
+    }
+
+    std::streamsize
+    xsputn(const char *s, std::streamsize count) override
+    {
+        return writeAll(s, static_cast<std::size_t>(count))
+                   ? count
+                   : 0;
+    }
+
+  private:
+    bool
+    writeAll(const char *data, std::size_t len)
+    {
+        std::size_t off = 0;
+        while (off < len) {
+            const ssize_t n = write(fd_, data + off, len - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    int fd_;
+};
+
+} // namespace
+
+int
+serveUnixSocket(const std::string &path, SweepService &service)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        REMAP_WARN("remapd: socket path '%s' too long", path.c_str());
+        return 2;
+    }
+    // SOCK_CLOEXEC everywhere: worker processes exec'd mid-batch
+    // must not inherit the listener or a live connection — a stray
+    // copy of the connection fd in a long-lived worker would keep
+    // the client from ever seeing EOF on its response stream.
+    const int listener =
+        socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listener < 0) {
+        REMAP_WARN("remapd: socket() failed (%s)",
+                   std::strerror(errno));
+        return 2;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    unlink(path.c_str());
+    if (bind(listener, reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0 ||
+        listen(listener, 8) != 0) {
+        REMAP_WARN("remapd: cannot listen on '%s' (%s)", path.c_str(),
+                   std::strerror(errno));
+        close(listener);
+        return 2;
+    }
+
+    // No SA_RESTART: accept() must return EINTR so the stop flag is
+    // honored promptly.
+    struct sigaction sa{};
+    sa.sa_handler = stopHandler;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    REMAP_INFORM("remapd: serving on '%s' with %u workers",
+                 path.c_str(), service.workers());
+    while (!g_stop) {
+        const int conn =
+            accept4(listener, nullptr, nullptr, SOCK_CLOEXEC);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            REMAP_WARN("remapd: accept failed (%s)",
+                       std::strerror(errno));
+            break;
+        }
+        FdStreambuf ob(conn);
+        std::ostream out(&ob);
+        std::string rbuf;
+        char chunk[4096];
+        ssize_t got;
+        while ((got = read(conn, chunk, sizeof(chunk))) != 0) {
+            if (got < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            rbuf.append(chunk, static_cast<std::size_t>(got));
+            std::size_t pos;
+            while ((pos = rbuf.find('\n')) != std::string::npos) {
+                const std::string line = rbuf.substr(0, pos);
+                rbuf.erase(0, pos + 1);
+                std::istringstream one(line + "\n");
+                service.serveStream(one, out);
+                if (!out)
+                    break;
+            }
+            if (!out)
+                break;
+        }
+        close(conn);
+    }
+    close(listener);
+    unlink(path.c_str());
+    REMAP_INFORM("remapd: shut down");
+    return 0;
+}
+
+int
+submitToSocket(const std::string &path,
+               const std::string &request_lines, std::ostream &out)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        REMAP_WARN("remap-submit: socket path '%s' too long",
+                   path.c_str());
+        return 2;
+    }
+    const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return 2;
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        REMAP_WARN("remap-submit: cannot connect to '%s' (%s)",
+                   path.c_str(), std::strerror(errno));
+        close(fd);
+        return 2;
+    }
+
+    std::string payload = request_lines;
+    if (payload.empty() || payload.back() != '\n')
+        payload.push_back('\n');
+    std::size_t off = 0;
+    while (off < payload.size()) {
+        const ssize_t n =
+            write(fd, payload.data() + off, payload.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            close(fd);
+            return 2;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    shutdown(fd, SHUT_WR);
+
+    // Stream everything back; the exit code reflects the summaries.
+    std::string rbuf;
+    char chunk[4096];
+    ssize_t got;
+    bool sawSummary = false;
+    bool sawFailure = false;
+    while ((got = read(fd, chunk, sizeof(chunk))) != 0) {
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            close(fd);
+            return 2;
+        }
+        rbuf.append(chunk, static_cast<std::size_t>(got));
+        std::size_t pos;
+        while ((pos = rbuf.find('\n')) != std::string::npos) {
+            const std::string line = rbuf.substr(0, pos);
+            rbuf.erase(0, pos + 1);
+            out << line << '\n';
+            json::Value v;
+            if (json::parse(line, v, nullptr) && v.isObject() &&
+                v.has("type") && v.at("type").isString()) {
+                if (v.at("type").str == "summary") {
+                    sawSummary = true;
+                    if (v.has("failed") &&
+                        v.at("failed").num > 0)
+                        sawFailure = true;
+                } else if (v.at("type").str == "error") {
+                    sawFailure = true;
+                }
+            }
+        }
+    }
+    out.flush();
+    close(fd);
+    if (!sawSummary && !sawFailure)
+        return 2;
+    return sawFailure ? 1 : 0;
+}
+
+} // namespace remap::service

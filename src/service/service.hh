@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SweepService — the daemon's batch scheduler.
+ *
+ * One batch flows through three stages:
+ *
+ *  1. Store probe (parent): each validated job's System is built
+ *     (never run) to obtain its configHash; the content-addressed
+ *     ResultStore is consulted under the same
+ *     (workload, spec, config-hash) key the SnapshotCache uses. Hits
+ *     are streamed back immediately — no simulation, no worker.
+ *  2. Sharding (workers): misses are dealt one-at-a-time to a pool
+ *     of worker *processes* (fork/exec, see worker.hh); a worker that
+ *     finishes a job is immediately dealt the next pending one, so
+ *     long jobs self-balance exactly like the in-process JobPool's
+ *     stealing. Results stream back to the client in completion
+ *     order (lines carry the job id) and are recorded in the store.
+ *  3. Fault handling: a worker that dies mid-job (EOF on its pipe)
+ *     has its in-flight job re-queued once on a fresh worker; a
+ *     second death fails that job only — the rest of the batch
+ *     completes and the summary counts the casualties. The daemon
+ *     never fatals on user input or worker loss.
+ *
+ * After each batch the service writes a run manifest (when
+ * REMAP_MANIFEST is set) covering the whole batch — store-served and
+ * simulated jobs alike — and emits a summary line with store stats.
+ */
+
+#ifndef REMAP_SERVICE_SERVICE_HH
+#define REMAP_SERVICE_SERVICE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "service/job_codec.hh"
+#include "service/worker.hh"
+
+namespace remap::service
+{
+
+/** Daemon knobs. */
+struct ServiceOptions
+{
+    /** Worker processes; 0 means JobPool::defaultWorkers() (i.e.
+     *  REMAP_JOBS, else hardware_concurrency). */
+    unsigned workers = 0;
+    /** Binary to re-exec as workers; empty = /proc/self/exe. */
+    std::string exePath;
+    /** Consult/populate the ResultStore (--no-store turns off). */
+    bool useStore = true;
+};
+
+/** What one batch did, for callers and the summary line. */
+struct BatchSummary
+{
+    std::size_t jobs = 0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t storeHits = 0; ///< served without simulating
+    std::size_t simulated = 0; ///< ran on a worker this batch
+    std::size_t retried = 0;   ///< re-runs after a worker death
+    unsigned workersUsed = 0;  ///< distinct worker slots that ran jobs
+    std::string manifestPath;  ///< "" unless REMAP_MANIFEST wrote one
+};
+
+class SweepService
+{
+  public:
+    explicit SweepService(ServiceOptions opts = {});
+    ~SweepService();
+
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /** Resolved worker-process count. */
+    unsigned workers() const { return numWorkers_; }
+
+    /**
+     * Run @p batch, streaming one result line per job plus a final
+     * summary line to @p out. @p outcomes, when non-null, receives
+     * the per-job outcomes in job order (for tests and embedders).
+     */
+    BatchSummary runBatch(const BatchRequest &batch, std::ostream &out,
+                          std::vector<JobOutcome> *outcomes = nullptr);
+
+    /**
+     * Serve newline-delimited batch requests from @p in until EOF
+     * (`remapd once` and per-connection socket handling). Request
+     * parse errors produce one {"type":"error",...} line and
+     * processing continues with the next request.
+     * @return number of failed jobs across all batches.
+     */
+    std::size_t serveStream(std::istream &in, std::ostream &out);
+
+  private:
+    struct Slot; // one worker process + its line buffer
+
+    /** Ensure slot @p s has a live worker (spawn/respawn). */
+    bool ensureWorker(Slot &s);
+
+    ServiceOptions opts_;
+    unsigned numWorkers_;
+    std::string exe_;
+    std::vector<Slot> slots_;
+};
+
+/**
+ * Bind a unix-domain stream socket at @p path and serve batch
+ * requests (one JSON line each) per connection until SIGINT/SIGTERM.
+ * Returns 0 on clean shutdown, 2 on socket errors.
+ */
+int serveUnixSocket(const std::string &path, SweepService &service);
+
+/**
+ * Client side: connect to @p path, send @p request_lines, stream
+ * every response line to @p out. Returns 0 when every batch summary
+ * reported zero failures, 1 when any job failed, 2 on I/O errors.
+ */
+int submitToSocket(const std::string &path,
+                   const std::string &request_lines, std::ostream &out);
+
+} // namespace remap::service
+
+#endif // REMAP_SERVICE_SERVICE_HH

@@ -1,0 +1,217 @@
+#include "service/worker.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "harness/experiment.hh"
+#include "power/energy.hh"
+#include "service/job_codec.hh"
+#include "sim/logging.hh"
+
+namespace remap::service
+{
+
+void
+maybeRunWorker(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], kWorkerFlag) == 0) {
+            std::exit(workerMain());
+        }
+    }
+}
+
+int
+workerMain()
+{
+    setLogContext("remapd-worker" + std::to_string(getpid()));
+    // Poison jobs simulate a worker crash mid-batch; honoring them
+    // is gated on an env the fault-injection tests set, so no
+    // production request can kill a worker by flipping a JSON flag.
+    const char *poison_env = std::getenv("REMAP_SERVICE_POISON");
+    const bool honor_poison = poison_env && *poison_env == '1';
+
+    const power::EnergyModel model;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.empty())
+            continue;
+        std::size_t id = 0;
+        JobRequest job;
+        JobOutcome outcome;
+        std::string error;
+        if (!parseJobLine(line, &id, &job, &error)) {
+            outcome.ok = false;
+            outcome.error = error;
+        } else if (job.poison && honor_poison) {
+            // Die the way a crashing simulation would: no result
+            // line, no exit protocol — the parent sees EOF.
+            _exit(42);
+        } else {
+            outcome.id = id;
+            outcome.ok = true;
+            outcome.result =
+                harness::runRegion(*job.info, job.spec, model);
+        }
+        outcome.id = id;
+        std::ostringstream os;
+        writeResultLine(os, outcome);
+        std::cout << os.str() << '\n' << std::flush;
+        if (!std::cout)
+            return 1; // parent hung up
+    }
+    return 0;
+}
+
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0 ? argv0 : "";
+}
+
+WorkerProcess::~WorkerProcess()
+{
+    close();
+}
+
+WorkerProcess::WorkerProcess(WorkerProcess &&other) noexcept
+    : pid_(other.pid_), readFd_(other.readFd_),
+      writeFd_(other.writeFd_)
+{
+    other.pid_ = -1;
+    other.readFd_ = -1;
+    other.writeFd_ = -1;
+}
+
+WorkerProcess &
+WorkerProcess::operator=(WorkerProcess &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        pid_ = other.pid_;
+        readFd_ = other.readFd_;
+        writeFd_ = other.writeFd_;
+        other.pid_ = -1;
+        other.readFd_ = -1;
+        other.writeFd_ = -1;
+    }
+    return *this;
+}
+
+bool
+WorkerProcess::spawn(const std::string &exe)
+{
+    close();
+    // O_CLOEXEC: a worker spawned later must not inherit this
+    // worker's parent-side pipe ends across its exec — a stray copy
+    // of the stdin write-end would keep this worker from ever seeing
+    // EOF. dup2() onto stdin/stdout in the child clears the flag on
+    // the ends the worker actually uses.
+    int to_child[2];   // parent writes jobs
+    int from_child[2]; // parent reads results
+    if (pipe2(to_child, O_CLOEXEC) != 0)
+        return false;
+    if (pipe2(from_child, O_CLOEXEC) != 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        return false;
+    }
+
+    const pid_t pid = fork();
+    if (pid < 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Child: stdin <- job pipe, stdout -> result pipe, stderr
+        // inherited (logs interleave with the daemon's, tagged by
+        // the worker's log context). Only async-signal-safe calls
+        // between fork and exec — the parent may be multithreaded.
+        dup2(to_child[0], STDIN_FILENO);
+        dup2(from_child[1], STDOUT_FILENO);
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        char *args[] = {const_cast<char *>(exe.c_str()),
+                        const_cast<char *>(kWorkerFlag), nullptr};
+        execv(exe.c_str(), args);
+        _exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    pid_ = pid;
+    writeFd_ = to_child[1];
+    readFd_ = from_child[0];
+    return true;
+}
+
+bool
+WorkerProcess::sendLine(const std::string &line)
+{
+    if (writeFd_ < 0)
+        return false;
+    std::string buf = line;
+    buf.push_back('\n');
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        const ssize_t n =
+            write(writeFd_, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // EPIPE: worker died (SIGPIPE is ignored)
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+WorkerProcess::close()
+{
+    if (writeFd_ >= 0) {
+        ::close(writeFd_);
+        writeFd_ = -1;
+    }
+    if (readFd_ >= 0) {
+        ::close(readFd_);
+        readFd_ = -1;
+    }
+    if (pid_ > 0) {
+        // EOF on stdin makes a healthy worker exit promptly; give it
+        // a moment, then escalate.
+        int status = 0;
+        for (int spin = 0; spin < 200; ++spin) {
+            const pid_t r = waitpid(pid_, &status, WNOHANG);
+            if (r == pid_ || (r < 0 && errno == ECHILD)) {
+                pid_ = -1;
+                return;
+            }
+            usleep(10'000);
+        }
+        kill(pid_, SIGKILL);
+        waitpid(pid_, &status, 0);
+        pid_ = -1;
+    }
+}
+
+} // namespace remap::service

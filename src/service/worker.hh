@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Worker side of the sharded simulation service.
+ *
+ * The daemon shards batches across worker *processes* — fork/exec of
+ * the host binary re-entered in `--remapd-worker` mode — so a host
+ * reporting hardware_concurrency()==1 and the serialization inherent
+ * to an in-process pool no longer bound throughput, and a crashing
+ * simulation takes down one worker, not the daemon.
+ *
+ * Protocol (JSON lines, stdin/stdout; logs go to stderr):
+ *   parent -> worker : one writeJobLine() per job
+ *   worker -> parent : one writeResultLine() per job, in order
+ *   EOF on stdin     : worker exits 0
+ *
+ * Any binary can host the worker mode by calling maybeRunWorker()
+ * first thing in main() — remapd does, and the service test binary
+ * does too, which is how tests spawn real worker processes without
+ * knowing where remapd was built.
+ */
+
+#ifndef REMAP_SERVICE_WORKER_HH
+#define REMAP_SERVICE_WORKER_HH
+
+#include <string>
+
+#include <sys/types.h>
+
+namespace remap::service
+{
+
+/** The argv flag that re-enters a binary as a service worker. */
+inline constexpr const char *kWorkerFlag = "--remapd-worker";
+
+/**
+ * If @p argv contains kWorkerFlag, run the worker loop on
+ * stdin/stdout and exit the process with its status; otherwise
+ * return. Call before any other argument handling.
+ */
+void maybeRunWorker(int argc, char **argv);
+
+/** The worker loop body (exposed for direct testing). */
+int workerMain();
+
+/** Absolute path of the running executable (/proc/self/exe, falling
+ *  back to @p argv0). Workers are spawned by re-exec'ing this. */
+std::string selfExePath(const char *argv0);
+
+/**
+ * One spawned worker process with pipes to its stdin/stdout.
+ * Non-copyable; the destructor closes the pipes and reaps the child.
+ */
+class WorkerProcess
+{
+  public:
+    WorkerProcess() = default;
+    ~WorkerProcess();
+
+    WorkerProcess(const WorkerProcess &) = delete;
+    WorkerProcess &operator=(const WorkerProcess &) = delete;
+    WorkerProcess(WorkerProcess &&other) noexcept;
+    WorkerProcess &operator=(WorkerProcess &&other) noexcept;
+
+    /** fork/exec @p exe with kWorkerFlag. False on failure. */
+    bool spawn(const std::string &exe);
+
+    /** True between a successful spawn() and close()/destruction. */
+    bool running() const { return pid_ > 0; }
+    pid_t pid() const { return pid_; }
+
+    /** Fd carrying the worker's result lines (for poll()). */
+    int readFd() const { return readFd_; }
+
+    /** Write @p line (newline appended) to the worker's stdin.
+     *  False when the pipe is gone (worker died). */
+    bool sendLine(const std::string &line);
+
+    /** Close pipes and reap the child (SIGKILL after a short grace
+     *  period if it ignores EOF). */
+    void close();
+
+  private:
+    pid_t pid_ = -1;
+    int readFd_ = -1;
+    int writeFd_ = -1;
+};
+
+} // namespace remap::service
+
+#endif // REMAP_SERVICE_WORKER_HH

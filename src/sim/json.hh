@@ -143,6 +143,32 @@ class Writer
     Writer &value(int v) { return value(std::int64_t(v)); }
     Writer &value(unsigned v) { return value(std::uint64_t(v)); }
 
+    /**
+     * Round-trip-exact double: 17 significant digits recover the
+     * exact IEEE-754 value through strtod (the json_value.hh
+     * parser). Used where a consumer re-ingests the number and must
+     * see the producer's bits (result store, service protocol);
+     * value(double)'s %.12g stays the default for display-grade
+     * output.
+     */
+    Writer &
+    valueExact(double v)
+    {
+        comma();
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os_ << buf;
+        return *this;
+    }
+
+    /** Shorthand for key(k).valueExact(v). */
+    Writer &
+    kvExact(std::string_view k, double v)
+    {
+        key(k);
+        return valueExact(v);
+    }
+
     Writer &
     value(bool v)
     {

@@ -19,9 +19,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "sim/json.hh"
 #include "tools/stats_query.hh"
 
 namespace
@@ -44,15 +46,17 @@ usage(const char *argv0)
         "usage: %s show FILE [--only SUB]...\n"
         "       %s diff A B [--tolerance T] [--one-sided]\n"
         "                   [--only SUB]... [--ignore SUB]...\n"
-        "                   [--warn-only] [--quiet]\n"
-        "       %s aggregate FILE... [--only SUB]...\n"
+        "                   [--warn-only] [--quiet] [--json]\n"
+        "       %s aggregate FILE... [--only SUB]... [--json]\n"
         "\n"
         "Operates on the JSON files the simulator writes: stats\n"
         "dumps, run manifests and BENCH baselines.\n"
         "\n"
         "diff exit codes: 0 = within tolerance, 1 = violation,\n"
         "2 = usage/IO error. Default tolerance 0.05 (5%% relative);\n"
-        "--one-sided only flags B > A (larger-is-worse metrics).\n",
+        "--one-sided only flags B > A (larger-is-worse metrics).\n"
+        "--json replaces the text report with one machine-readable\n"
+        "JSON object on stdout (exit codes unchanged).\n",
         argv0, argv0, argv0);
     return 2;
 }
@@ -103,7 +107,7 @@ cmdShow(const std::vector<std::string> &files,
 
 int
 cmdDiff(const std::vector<std::string> &files, const DiffOptions &opt,
-        bool warn_only, bool quiet)
+        bool warn_only, bool quiet, bool as_json)
 {
     if (files.size() != 2)
         return 2;
@@ -116,7 +120,11 @@ cmdDiff(const std::vector<std::string> &files, const DiffOptions &opt,
     }
     const DiffResult res = diff(flatten(ra), flatten(rb), opt);
 
-    if (!quiet) {
+    if (as_json) {
+        remap::json::Writer w(std::cout);
+        remap::tools::dumpDiffJson(res, opt, w);
+        std::cout << '\n';
+    } else if (!quiet) {
         for (const DiffEntry &d : res.entries) {
             if (!d.note.empty()) {
                 std::printf("  note  %s: %s\n", d.path.c_str(),
@@ -142,7 +150,7 @@ cmdDiff(const std::vector<std::string> &files, const DiffOptions &opt,
 
 int
 cmdAggregate(const std::vector<std::string> &files,
-             const std::vector<std::string> &only)
+             const std::vector<std::string> &only, bool as_json)
 {
     if (files.empty())
         return 2;
@@ -156,7 +164,14 @@ cmdAggregate(const std::vector<std::string> &files,
         }
         runs.push_back(flatten(root));
     }
-    for (const auto &[path, agg] : remap::tools::aggregate(runs)) {
+    const auto aggs = remap::tools::aggregate(runs);
+    if (as_json) {
+        remap::json::Writer w(std::cout);
+        remap::tools::dumpAggregateJson(aggs, runs.size(), only, w);
+        std::cout << '\n';
+        return 0;
+    }
+    for (const auto &[path, agg] : aggs) {
         if (!matchesAny(path, only))
             continue;
         std::printf(
@@ -178,6 +193,7 @@ main(int argc, char **argv)
     DiffOptions opt;
     bool warn_only = false;
     bool quiet = false;
+    bool as_json = false;
     std::vector<std::string> files;
 
     for (int i = 2; i < argc; ++i) {
@@ -218,6 +234,8 @@ main(int argc, char **argv)
             warn_only = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--json") {
+            as_json = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "remap-stats: unknown option %s\n",
                          arg.c_str());
@@ -231,9 +249,9 @@ main(int argc, char **argv)
     if (cmd == "show")
         rc = cmdShow(files, opt.only);
     else if (cmd == "diff")
-        rc = cmdDiff(files, opt, warn_only, quiet);
+        rc = cmdDiff(files, opt, warn_only, quiet, as_json);
     else if (cmd == "aggregate")
-        rc = cmdAggregate(files, opt.only);
+        rc = cmdAggregate(files, opt.only, as_json);
     else
         return usage(argv[0]);
     return rc == 2 ? usage(argv[0]) : rc;

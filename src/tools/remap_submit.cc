@@ -1,0 +1,64 @@
+/**
+ * @file
+ * remap-submit — client for a running remapd.
+ *
+ *   remap-submit --socket PATH [FILE|-]
+ *
+ * Reads batch request lines from FILE (default stdin), sends them to
+ * the daemon listening on the unix socket at PATH, and streams every
+ * response line (results, summaries, errors) to stdout. Exit codes:
+ * 0 all jobs succeeded, 1 some job failed or a request was rejected,
+ * 2 I/O or connection trouble.
+ *
+ * Typical use:
+ *   remapd smoke-request | remap-submit --socket /tmp/remapd.sock
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "service/service.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string file = "-";
+    bool fileSet = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+            socketPath = argv[++i];
+        } else if (!fileSet) {
+            file = argv[i];
+            fileSet = true;
+        } else {
+            socketPath.clear();
+            break;
+        }
+    }
+    if (socketPath.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s --socket PATH [FILE|-]\n", argv[0]);
+        return 2;
+    }
+
+    std::ostringstream request;
+    if (file == "-") {
+        request << std::cin.rdbuf();
+    } else {
+        std::ifstream in(file);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot open '%s'\n", argv[0],
+                         file.c_str());
+            return 2;
+        }
+        request << in.rdbuf();
+    }
+
+    return remap::service::submitToSocket(socketPath, request.str(),
+                                          std::cout);
+}

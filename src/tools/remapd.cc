@@ -1,0 +1,144 @@
+/**
+ * @file
+ * remapd — the ReMAP simulation service daemon.
+ *
+ *   remapd serve --socket PATH [--workers N] [--no-store]
+ *       Accept batch requests (one JSON line each) on a unix-domain
+ *       socket until SIGINT/SIGTERM; results stream back per
+ *       connection.
+ *
+ *   remapd once FILE [--workers N] [--no-store]
+ *       Serve the batch requests in FILE ("-" for stdin) and exit —
+ *       the socket-free path tests and scripts use. Exit 0 when every
+ *       job succeeded, 1 otherwise.
+ *
+ *   remapd smoke-request
+ *       Print the canonical smoke-sweep batch request line (the job
+ *       set shared with the service tests), for piping into
+ *       `remap-submit` or `remapd once -`.
+ *
+ *   remapd --remapd-worker
+ *       Internal: run as a spawned worker process (job lines on
+ *       stdin, result lines on stdout). The daemon re-execs itself
+ *       with this flag; it is not meant for interactive use.
+ *
+ * Results are cached across batches in the content-addressed
+ * ResultStore; set REMAP_RESULTS to a directory to persist them
+ * across daemon restarts, REMAP_RESULTS_MEM to cap the in-memory
+ * tier (MiB). REMAP_MANIFEST directs per-batch run manifests as in
+ * every other driver.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "harness/manifest.hh"
+#include "service/job_codec.hh"
+#include "service/service.hh"
+#include "service/worker.hh"
+#include "sim/logging.hh"
+
+using namespace remap;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s serve --socket PATH [--workers N] [--no-store]\n"
+        "       %s once FILE|- [--workers N] [--no-store]\n"
+        "       %s smoke-request\n",
+        argv0, argv0, argv0);
+    return 2;
+}
+
+bool
+parseCommonFlag(int argc, char **argv, int &i,
+                service::ServiceOptions &opts)
+{
+    const std::string arg = argv[i];
+    if (arg == "--workers" && i + 1 < argc) {
+        opts.workers =
+            static_cast<unsigned>(std::atoi(argv[++i]));
+        return true;
+    }
+    if (arg == "--no-store") {
+        opts.useStore = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::maybeRunWorker(argc, argv);
+    harness::setExperimentLabel("remapd");
+
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string cmd = argv[1];
+
+    if (cmd == "smoke-request") {
+        service::writeBatchRequest(std::cout,
+                                   service::smokeSweepBatch());
+        std::cout << '\n';
+        return 0;
+    }
+
+    service::ServiceOptions opts;
+    opts.exePath = service::selfExePath(argv[0]);
+
+    if (cmd == "serve") {
+        std::string socketPath;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--socket") == 0 &&
+                i + 1 < argc) {
+                socketPath = argv[++i];
+            } else if (!parseCommonFlag(argc, argv, i, opts)) {
+                return usage(argv[0]);
+            }
+        }
+        if (socketPath.empty())
+            return usage(argv[0]);
+        service::SweepService svc(opts);
+        return service::serveUnixSocket(socketPath, svc);
+    }
+
+    if (cmd == "once") {
+        std::string file;
+        for (int i = 2; i < argc; ++i) {
+            if (!parseCommonFlag(argc, argv, i, opts)) {
+                if (!file.empty())
+                    return usage(argv[0]);
+                file = argv[i];
+            }
+        }
+        if (file.empty())
+            return usage(argv[0]);
+        service::SweepService svc(opts);
+        std::size_t failed = 0;
+        if (file == "-") {
+            failed = svc.serveStream(std::cin, std::cout);
+        } else {
+            std::ifstream in(file);
+            if (!in) {
+                REMAP_WARN("remapd: cannot open '%s'", file.c_str());
+                return 2;
+            }
+            failed = svc.serveStream(in, std::cout);
+        }
+        return failed == 0 ? 0 : 1;
+    }
+
+    return usage(argv[0]);
+}

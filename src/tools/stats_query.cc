@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "sim/json.hh"
+
 namespace remap::tools
 {
 
@@ -242,6 +244,66 @@ loadJsonFile(const std::string &path, json::Value &out,
         return false;
     }
     return true;
+}
+
+void
+dumpDiffJson(const DiffResult &res, const DiffOptions &opt,
+             json::Writer &w)
+{
+    w.beginObject();
+    w.kvExact("tolerance", opt.tolerance);
+    w.kv("one_sided", opt.oneSided);
+    w.kv("compared", static_cast<std::uint64_t>(res.compared));
+    w.kv("violations", static_cast<std::uint64_t>(res.violations));
+    w.kv("notes", static_cast<std::uint64_t>(res.notes));
+    w.key("entries");
+    w.beginArray();
+    for (const DiffEntry &d : res.entries) {
+        w.beginObject();
+        w.kv("path", d.path);
+        if (!d.note.empty()) {
+            w.kv("note", d.note);
+        } else {
+            w.kvExact("a", d.a);
+            w.kvExact("b", d.b);
+            w.kvExact("rel", d.rel);
+            w.kv("violation", d.violation);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+dumpAggregateJson(const std::map<std::string, Aggregate> &aggs,
+                  std::size_t runs,
+                  const std::vector<std::string> &only,
+                  json::Writer &w)
+{
+    auto matches = [&only](const std::string &path) {
+        for (const std::string &s : only)
+            if (path.find(s) != std::string::npos)
+                return true;
+        return only.empty();
+    };
+    w.beginObject();
+    w.kv("runs", static_cast<std::uint64_t>(runs));
+    w.key("paths");
+    w.beginObject();
+    for (const auto &[path, agg] : aggs) {
+        if (!matches(path))
+            continue;
+        w.key(path);
+        w.beginObject();
+        w.kv("n", static_cast<std::uint64_t>(agg.count));
+        w.kvExact("mean", agg.mean());
+        w.kvExact("min", agg.min);
+        w.kvExact("max", agg.max);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
 }
 
 } // namespace remap::tools

@@ -16,6 +16,11 @@
 
 #include "sim/json_value.hh"
 
+namespace remap::json
+{
+class Writer;
+}
+
 namespace remap::tools
 {
 
@@ -106,6 +111,27 @@ aggregate(const std::vector<std::map<std::string, FlatEntry>> &runs);
 /** Read + parse @p path. @p error receives the reason on failure. */
 bool loadJsonFile(const std::string &path, json::Value &out,
                   std::string *error);
+
+/**
+ * Emit @p res as one JSON object — the `remap-stats diff --json`
+ * payload: {"tolerance":..,"one_sided":..,"compared":..,
+ * "violations":..,"notes":..,"entries":[{"path":..,"a":..,"b":..,
+ * "rel":..,"violation":..}|{"path":..,"note":..}, ...]}. Doubles are
+ * round-trip exact so a consumer recomputing rel sees our bits.
+ */
+void dumpDiffJson(const DiffResult &res, const DiffOptions &opt,
+                  json::Writer &w);
+
+/**
+ * Emit aggregates as one JSON object — the
+ * `remap-stats aggregate --json` payload: {"runs":N,"paths":{path:
+ * {"n":..,"mean":..,"min":..,"max":..}, ...}}. @p only filters paths
+ * by substring like the text mode (empty = all).
+ */
+void dumpAggregateJson(const std::map<std::string, Aggregate> &aggs,
+                       std::size_t runs,
+                       const std::vector<std::string> &only,
+                       json::Writer &w);
 
 } // namespace remap::tools
 

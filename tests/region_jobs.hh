@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "harness/parallel.hh"
+#include "service/job_codec.hh"
 
 namespace remap::testjobs
 {
@@ -141,6 +142,20 @@ fig13Jobs()
             }
         }
     }
+    return jobs;
+}
+
+/** The canonical tiny smoke sweep as plain region jobs — the same
+ *  job set service::smokeSweepBatch() ships over the wire and the CI
+ *  service smoke job submits (`remapd smoke-request`), so the
+ *  in-process differentials and the service tests always cover the
+ *  same regions. */
+inline std::vector<RegionJob>
+smokeSweepJobs()
+{
+    std::vector<RegionJob> jobs;
+    for (const service::JobRequest &j : service::smokeSweepBatch().jobs)
+        jobs.push_back(RegionJob{j.info, j.spec});
     return jobs;
 }
 

@@ -132,6 +132,14 @@ fastPathDiffJobs(const std::vector<RegionJob> &jobs)
     }
 }
 
+TEST(FastPathDifferential, SmokeSweep)
+{
+    // The canonical service smoke set (shared with test_service.cc
+    // and the CI service smoke job): proven fast-path-clean here so
+    // the service differentials never chase a fast-path bug.
+    fastPathDiffJobs(testjobs::smokeSweepJobs());
+}
+
 TEST(FastPathDifferential, Fig8To11VariantSets)
 {
     fastPathDiffJobs(testjobs::fig8To11Jobs());

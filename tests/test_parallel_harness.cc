@@ -128,6 +128,21 @@ TEST(ParallelHarness, RemapJobsEnvOverridesWorkerCount)
 {
     ASSERT_EQ(setenv("REMAP_JOBS", "3", 1), 0);
     EXPECT_EQ(harness::JobPool::defaultWorkers(), 3u);
+    // The override must reach a default-constructed pool too —
+    // notably on hosts where hardware_concurrency() reports 1, which
+    // previously meant silent serialization regardless of REMAP_JOBS.
+    {
+        harness::JobPool pool(0);
+        EXPECT_EQ(pool.workers(), 3u);
+        std::atomic<unsigned> ran{0};
+        std::vector<std::function<void()>> batch;
+        for (unsigned i = 0; i < 9; ++i)
+            batch.push_back([&ran] {
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.run(std::move(batch));
+        EXPECT_EQ(ran.load(), 9u);
+    }
     ASSERT_EQ(setenv("REMAP_JOBS", "0", 1), 0);
     EXPECT_GE(harness::JobPool::defaultWorkers(), 1u);
     ASSERT_EQ(unsetenv("REMAP_JOBS"), 0);

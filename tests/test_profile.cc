@@ -357,6 +357,75 @@ TEST(StatsQuery, AggregateOverRuns)
     EXPECT_DOUBLE_EQ(agg.at("v").max, 30.0);
 }
 
+TEST(StatsQuery, DiffJsonDumpRoundTrips)
+{
+    // The `remap-stats diff --json` payload must re-parse with the
+    // simulator's own reader and carry the exact rel values (the
+    // service and CI consume it without scraping text).
+    const auto a = flattenText(R"({"fast": 100, "slow": 100})");
+    const auto b = flattenText(R"({"fast": 104, "slow": 120})");
+    DiffOptions opt;
+    opt.tolerance = 0.05;
+    const DiffResult res = tools::diff(a, b, opt);
+
+    std::ostringstream os;
+    json::Writer w(os);
+    tools::dumpDiffJson(res, opt, w);
+
+    json::Value root;
+    std::string error;
+    ASSERT_TRUE(json::parse(os.str(), root, &error)) << error;
+    EXPECT_EQ(root.at("tolerance").num, 0.05);
+    EXPECT_FALSE(root.at("one_sided").boolean);
+    EXPECT_EQ(root.at("compared").num, 2);
+    EXPECT_EQ(root.at("violations").num, 1);
+    EXPECT_EQ(root.at("notes").num, 0);
+    ASSERT_EQ(root.at("entries").arr.size(), 2u);
+    const json::Value &worst = root.at("entries").arr[0];
+    EXPECT_EQ(worst.at("path").str, "slow");
+    EXPECT_TRUE(worst.at("violation").boolean);
+    EXPECT_EQ(worst.at("a").num, 100.0);
+    EXPECT_EQ(worst.at("b").num, 120.0);
+    EXPECT_EQ(worst.at("rel").num, res.entries[0].rel); // bit-exact
+
+    // Notes keep their shape too.
+    const DiffResult noted = tools::diff(
+        flattenText(R"({"gone": 1})"), flattenText(R"({})"),
+        DiffOptions{});
+    std::ostringstream os2;
+    json::Writer w2(os2);
+    tools::dumpDiffJson(noted, DiffOptions{}, w2);
+    ASSERT_TRUE(json::parse(os2.str(), root, &error)) << error;
+    ASSERT_EQ(root.at("entries").arr.size(), 1u);
+    EXPECT_TRUE(root.at("entries").arr[0].has("note"));
+}
+
+TEST(StatsQuery, AggregateJsonDumpRoundTrips)
+{
+    const std::vector<std::map<std::string, FlatEntry>> runs = {
+        flattenText(R"({"v": 10, "other": 1})"),
+        flattenText(R"({"v": 30, "other": 2})"),
+    };
+    const auto agg = tools::aggregate(runs);
+
+    std::ostringstream os;
+    json::Writer w(os);
+    tools::dumpAggregateJson(agg, runs.size(), {"v"}, w);
+
+    json::Value root;
+    std::string error;
+    ASSERT_TRUE(json::parse(os.str(), root, &error)) << error;
+    EXPECT_EQ(root.at("runs").num, 2);
+    ASSERT_TRUE(root.at("paths").isObject());
+    EXPECT_FALSE(root.at("paths").has("other")) << "filter ignored";
+    ASSERT_TRUE(root.at("paths").has("v"));
+    const json::Value &v = root.at("paths").at("v");
+    EXPECT_EQ(v.at("n").num, 2);
+    EXPECT_DOUBLE_EQ(v.at("mean").num, 20.0);
+    EXPECT_DOUBLE_EQ(v.at("min").num, 10.0);
+    EXPECT_DOUBLE_EQ(v.at("max").num, 30.0);
+}
+
 // ---------------------------------------------------------------
 // End-to-end: profiling is pure observation
 // ---------------------------------------------------------------

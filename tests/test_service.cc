@@ -1,0 +1,610 @@
+/**
+ * @file
+ * The simulation-service proofs:
+ *
+ *  - codec round-trips: batch requests, job lines and result lines
+ *    survive serialize -> parse bit-exactly (including the doubles,
+ *    via kvExact), and hostile requests are rejected with an error
+ *    instead of reaching a REMAP_FATAL-ing workload factory;
+ *  - ResultStore semantics: hit-after-store, LRU eviction under a
+ *    byte cap, disk persistence with corrupt-file rejection;
+ *  - the service differential: a batch sharded across >= 2 real
+ *    worker *processes* produces RegionResults bit-identical to
+ *    in-process harness::runRegions over the same jobs;
+ *  - result-store serving: an identical repeated batch is answered
+ *    entirely from the store, nothing re-simulated, bit-identically;
+ *  - crash recovery: a worker killed mid-job (poison fault injection)
+ *    costs one retry, not the batch;
+ *  - run-manifest schema 2 round-trip: what writeRunManifest emits
+ *    re-parses with json::Value and has the pool/snapshot_cache/
+ *    result_store/host_phases shapes the service's consumers read.
+ *
+ * This binary hosts the worker mode itself (maybeRunWorker in main),
+ * so spawning real workers never depends on where remapd was built.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/manifest.hh"
+#include "harness/parallel.hh"
+#include "harness/snapshot_cache.hh"
+#include "power/energy.hh"
+#include "region_jobs.hh"
+#include "service/job_codec.hh"
+#include "service/result_store.hh"
+#include "service/service.hh"
+#include "service/worker.hh"
+#include "sim/json.hh"
+#include "sim/json_value.hh"
+
+namespace
+{
+
+using namespace remap;
+using service::BatchRequest;
+using service::BatchSummary;
+using service::JobOutcome;
+using service::JobRequest;
+using service::ResultSource;
+using service::ResultStore;
+using service::ServiceOptions;
+using service::SweepService;
+using workloads::Variant;
+
+/** The deterministic RegionResult fields (everything but host
+ *  timing), compared bit-exactly. */
+void
+expectResultsBitEqual(const harness::RegionResult &a,
+                      const harness::RegionResult &b,
+                      const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.energyJ, b.energyJ) << what; // bit-exact, not near
+    EXPECT_EQ(a.work, b.work) << what;
+    EXPECT_EQ(a.insts, b.insts) << what;
+    EXPECT_EQ(a.configHash, b.configHash) << what;
+}
+
+std::string
+jobLabel(const JobRequest &j)
+{
+    return j.workload + "/" +
+           workloads::variantName(j.spec.variant) + "/n" +
+           std::to_string(j.spec.problemSize) + "/t" +
+           std::to_string(j.spec.threads);
+}
+
+// ---------------------------------------------------------------- //
+// Codec
+// ---------------------------------------------------------------- //
+
+TEST(JobCodec, BatchRequestRoundTrips)
+{
+    const BatchRequest batch = service::smokeSweepBatch();
+    std::ostringstream os;
+    service::writeBatchRequest(os, batch);
+
+    BatchRequest parsed;
+    std::string error;
+    ASSERT_TRUE(service::parseBatchRequest(os.str(), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.label, batch.label);
+    ASSERT_EQ(parsed.jobs.size(), batch.jobs.size());
+    for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+        EXPECT_EQ(parsed.jobs[i].workload, batch.jobs[i].workload);
+        EXPECT_EQ(parsed.jobs[i].spec.variant,
+                  batch.jobs[i].spec.variant);
+        EXPECT_EQ(parsed.jobs[i].spec.problemSize,
+                  batch.jobs[i].spec.problemSize);
+        EXPECT_EQ(parsed.jobs[i].spec.threads,
+                  batch.jobs[i].spec.threads);
+        EXPECT_EQ(parsed.jobs[i].spec.copies,
+                  batch.jobs[i].spec.copies);
+        EXPECT_EQ(parsed.jobs[i].spec.iterations,
+                  batch.jobs[i].spec.iterations);
+        // Registry-resolved: a parsed job is ready to make().
+        EXPECT_NE(parsed.jobs[i].info, nullptr);
+    }
+}
+
+TEST(JobCodec, RejectsHostileRequests)
+{
+    BatchRequest out;
+    std::string error;
+
+    EXPECT_FALSE(service::parseBatchRequest("{nope", &out, &error));
+    EXPECT_FALSE(service::parseBatchRequest(
+        R"({"jobs":[{"workload":"no-such-workload"}]})", &out,
+        &error));
+    EXPECT_NE(error.find("no-such-workload"), std::string::npos)
+        << error;
+
+    EXPECT_FALSE(service::parseBatchRequest(
+        R"({"jobs":[{"workload":"ll2","variant":"NotAVariant"}]})",
+        &out, &error));
+
+    // A known variant the workload's mode cannot build: reaching the
+    // factory with this would REMAP_FATAL the daemon, so the codec
+    // must reject it at validation time.
+    EXPECT_FALSE(service::parseBatchRequest(
+        R"({"jobs":[{"workload":"ll2","variant":"2Th+Comm"}]})",
+        &out, &error));
+    EXPECT_NE(error.find("invalid for workload"), std::string::npos)
+        << error;
+
+    EXPECT_FALSE(service::parseBatchRequest(
+        R"({"jobs":[{"workload":"ll2","variant":"Seq",)"
+        R"("spec":{"problem_size":-3}}]})",
+        &out, &error));
+
+    EXPECT_FALSE(
+        service::parseBatchRequest(R"({"jobs":[]})", &out, &error));
+}
+
+TEST(JobCodec, VariantModeTableMatchesFactories)
+{
+    // Spot-check the three modes' accept-sets (mirrors the factory
+    // switches; a drift here turns daemon validation into a lie).
+    using workloads::Mode;
+    EXPECT_TRUE(
+        service::variantValidForMode(Mode::Barrier, Variant::Seq));
+    EXPECT_TRUE(service::variantValidForMode(Mode::Barrier,
+                                             Variant::HwBarrier));
+    EXPECT_FALSE(
+        service::variantValidForMode(Mode::Barrier, Variant::Comm));
+    EXPECT_TRUE(service::variantValidForMode(Mode::CommComp,
+                                             Variant::SwQueue));
+    EXPECT_FALSE(service::variantValidForMode(Mode::ComputeOnly,
+                                              Variant::SwQueue));
+    EXPECT_TRUE(service::variantValidForMode(Mode::ComputeOnly,
+                                             Variant::Comp));
+}
+
+TEST(JobCodec, ResultLineRoundTripsBitExactly)
+{
+    JobOutcome o;
+    o.id = 7;
+    o.ok = true;
+    o.result.cycles = 123456789;
+    o.result.energyJ = 1.0 / 3.0;        // not %.12g-representable
+    o.result.work = 0.1 + 0.2;           // classic 0.30000000000000004
+    o.result.insts = (1ull << 52) + 123; // near the double ceiling
+    o.result.configHash = 0xdeadbeefcafe1234ull;
+    o.result.warmStarted = true;
+    o.result.snapshotBoundary = 4242;
+    o.result.hostPhaseMs.emplace_back("execute", 1.5e-13);
+    o.source = ResultSource::ResultStore;
+    o.retried = true;
+    o.worker = 3;
+    o.wallMs = 17.25;
+
+    std::ostringstream os;
+    service::writeResultLine(os, o);
+
+    JobOutcome parsed;
+    std::string error;
+    ASSERT_TRUE(service::parseResultLine(os.str(), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.id, o.id);
+    EXPECT_TRUE(parsed.ok);
+    expectResultsBitEqual(parsed.result, o.result, "round trip");
+    EXPECT_EQ(parsed.result.warmStarted, o.result.warmStarted);
+    EXPECT_EQ(parsed.result.snapshotBoundary,
+              o.result.snapshotBoundary);
+    ASSERT_EQ(parsed.result.hostPhaseMs.size(), 1u);
+    EXPECT_EQ(parsed.result.hostPhaseMs[0].second, 1.5e-13);
+    EXPECT_EQ(parsed.source, ResultSource::ResultStore);
+    EXPECT_TRUE(parsed.retried);
+    EXPECT_EQ(parsed.worker, 3u);
+    EXPECT_EQ(parsed.wallMs, 17.25);
+}
+
+TEST(JobCodec, JobLineCarriesPoison)
+{
+    JobRequest job;
+    job.workload = "ll2";
+    job.info = service::findWorkload("ll2");
+    job.spec.variant = Variant::HwBarrier;
+    job.spec.problemSize = 32;
+    job.spec.threads = 8;
+    job.poison = true;
+
+    std::ostringstream os;
+    service::writeJobLine(os, 5, job);
+
+    std::size_t id = 0;
+    JobRequest parsed;
+    std::string error;
+    ASSERT_TRUE(
+        service::parseJobLine(os.str(), &id, &parsed, &error))
+        << error;
+    EXPECT_EQ(id, 5u);
+    EXPECT_TRUE(parsed.poison);
+    EXPECT_EQ(parsed.spec.variant, Variant::HwBarrier);
+    EXPECT_EQ(parsed.info, job.info);
+}
+
+// ---------------------------------------------------------------- //
+// ResultStore
+// ---------------------------------------------------------------- //
+
+harness::RegionResult
+fakeResult(std::uint64_t seed)
+{
+    harness::RegionResult r;
+    r.cycles = 1000 + seed;
+    r.energyJ = 1.0 / static_cast<double>(3 + seed);
+    r.work = 10.0;
+    r.insts = 5000 + seed;
+    r.configHash = 0xabc0000000000000ull + seed;
+    return r;
+}
+
+/** Reset the process-wide store to a known state between tests. */
+void
+resetStore()
+{
+    ResultStore &s = ResultStore::instance();
+    s.setEnabled(true);
+    s.setDiskDir("");
+    s.setMemoryCapBytes(64ull * 1024 * 1024);
+    s.clear();
+}
+
+TEST(ResultStoreTest, HitAfterStore)
+{
+    resetStore();
+    ResultStore &s = ResultStore::instance();
+    const auto before = s.stats();
+
+    const harness::RegionResult r = fakeResult(1);
+    s.store("unit/hit/key", r.configHash, r);
+
+    harness::RegionResult out;
+    EXPECT_FALSE(s.lookup("unit/other/key", 1, &out));
+    ASSERT_TRUE(s.lookup("unit/hit/key", r.configHash, &out));
+    expectResultsBitEqual(out, r, "stored result");
+
+    const auto after = s.stats();
+    EXPECT_EQ(after.hits, before.hits + 1);
+    EXPECT_EQ(after.misses, before.misses + 1);
+    EXPECT_EQ(after.stores, before.stores + 1);
+    EXPECT_GT(after.bytes, 0u);
+}
+
+TEST(ResultStoreTest, EvictsLeastRecentlyUsed)
+{
+    resetStore();
+    ResultStore &s = ResultStore::instance();
+
+    // Same-length keys -> identical entry footprints; cap at exactly
+    // two entries, then prove the third store evicts the LRU one.
+    const std::string ka = "unit/lru/aa", kb = "unit/lru/bb",
+                      kc = "unit/lru/cc";
+    const harness::RegionResult ra = fakeResult(10),
+                                rb = fakeResult(11),
+                                rc = fakeResult(12);
+    s.store(ka, ra.configHash, ra);
+    const std::size_t one = s.stats().bytes;
+    s.store(kb, rb.configHash, rb);
+    s.setMemoryCapBytes(2 * one);
+
+    // Touch A so B becomes least-recently-used, then overflow.
+    harness::RegionResult out;
+    ASSERT_TRUE(s.lookup(ka, ra.configHash, &out));
+    s.store(kc, rc.configHash, rc);
+
+    EXPECT_TRUE(s.lookup(ka, ra.configHash, &out));
+    EXPECT_FALSE(s.lookup(kb, rb.configHash, &out)) << "LRU survived";
+    EXPECT_TRUE(s.lookup(kc, rc.configHash, &out));
+    EXPECT_GE(s.stats().evictions, 1u);
+    EXPECT_EQ(s.stats().entries, 2u);
+}
+
+TEST(ResultStoreTest, PersistsToDiskAndRejectsCorruption)
+{
+    resetStore();
+    ResultStore &s = ResultStore::instance();
+    const std::string dir =
+        ::testing::TempDir() + "remap_result_store_test";
+    s.setDiskDir(dir);
+
+    const harness::RegionResult r = fakeResult(20);
+    s.store("unit/disk/key", r.configHash, r);
+
+    // Drop memory; the lookup must come back from disk.
+    s.clear();
+    const auto before = s.stats();
+    harness::RegionResult out;
+    ASSERT_TRUE(s.lookup("unit/disk/key", r.configHash, &out));
+    expectResultsBitEqual(out, r, "disk round trip");
+    EXPECT_EQ(s.stats().diskLoads, before.diskLoads + 1);
+
+    // A config-hash mismatch (stale configuration) must be a miss,
+    // never a wrong answer.
+    s.clear();
+    EXPECT_FALSE(
+        s.lookup("unit/disk/key", r.configHash ^ 1, &out));
+    EXPECT_GE(s.stats().rejected, before.rejected + 1);
+
+    // Corrupt the file in place: rejected, not fatal.
+    s.clear();
+    bool corrupted = false;
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir)) {
+        std::ofstream f(e.path(), std::ios::trunc);
+        f << "{broken json";
+        corrupted = true;
+    }
+    ASSERT_TRUE(corrupted);
+    EXPECT_FALSE(s.lookup("unit/disk/key", r.configHash, &out));
+
+    s.setDiskDir("");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStoreTest, DisabledStoreServesNothing)
+{
+    resetStore();
+    ResultStore &s = ResultStore::instance();
+    const harness::RegionResult r = fakeResult(30);
+    s.setEnabled(false);
+    s.store("unit/disabled/key", r.configHash, r);
+    harness::RegionResult out;
+    EXPECT_FALSE(s.lookup("unit/disabled/key", r.configHash, &out));
+    s.setEnabled(true);
+}
+
+// ---------------------------------------------------------------- //
+// Service differentials (real worker processes)
+// ---------------------------------------------------------------- //
+
+TEST(ServiceTest, ShardedBatchMatchesInProcessBitExactly)
+{
+    const BatchRequest batch = service::smokeSweepBatch();
+
+    // In-process reference over the exact same job set.
+    const power::EnergyModel model;
+    harness::JobPool pool(2);
+    const std::vector<harness::RegionResult> reference =
+        harness::runRegions(testjobs::smokeSweepJobs(), model, &pool);
+    ASSERT_EQ(reference.size(), batch.jobs.size());
+
+    ServiceOptions opts;
+    opts.workers = 2;
+    opts.useStore = false; // force every job through a worker
+    SweepService svc(opts);
+
+    std::ostringstream sink;
+    std::vector<JobOutcome> outcomes;
+    const BatchSummary summary =
+        svc.runBatch(batch, sink, &outcomes);
+
+    EXPECT_EQ(summary.jobs, batch.jobs.size());
+    EXPECT_EQ(summary.ok, batch.jobs.size());
+    EXPECT_EQ(summary.failed, 0u);
+    EXPECT_EQ(summary.simulated, batch.jobs.size());
+    EXPECT_EQ(summary.storeHits, 0u);
+
+    ASSERT_EQ(outcomes.size(), reference.size());
+    std::set<unsigned> workersSeen;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
+        EXPECT_EQ(outcomes[i].source, ResultSource::Simulated);
+        workersSeen.insert(outcomes[i].worker);
+        expectResultsBitEqual(outcomes[i].result, reference[i],
+                              jobLabel(batch.jobs[i]));
+    }
+    // The batch genuinely sharded: more than one worker process
+    // simulated (6 jobs, 2 workers, dealt one-at-a-time).
+    EXPECT_GE(workersSeen.size(), 2u);
+    EXPECT_GE(summary.workersUsed, 2u);
+}
+
+TEST(ServiceTest, RepeatedBatchServedFromStore)
+{
+    resetStore();
+    const BatchRequest batch = service::smokeSweepBatch();
+
+    ServiceOptions opts;
+    opts.workers = 2;
+    SweepService svc(opts);
+
+    std::ostringstream sink;
+    std::vector<JobOutcome> first;
+    const BatchSummary s1 = svc.runBatch(batch, sink, &first);
+    ASSERT_EQ(s1.ok, batch.jobs.size());
+    EXPECT_EQ(s1.simulated, batch.jobs.size());
+
+    std::vector<JobOutcome> second;
+    const BatchSummary s2 = svc.runBatch(batch, sink, &second);
+    ASSERT_EQ(s2.ok, batch.jobs.size());
+    // Everything served from the store: nothing re-simulated, no
+    // worker involved.
+    EXPECT_EQ(s2.storeHits, batch.jobs.size());
+    EXPECT_EQ(s2.simulated, 0u);
+    EXPECT_EQ(s2.workersUsed, 0u);
+
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(second[i].source, ResultSource::ResultStore);
+        expectResultsBitEqual(second[i].result, first[i].result,
+                              jobLabel(batch.jobs[i]));
+    }
+}
+
+TEST(ServiceTest, WorkerDeathRetriesOnceAndBatchCompletes)
+{
+    resetStore();
+    // Poison honoring is env-gated; workers inherit the env at
+    // spawn, which happens inside runBatch below.
+    setenv("REMAP_SERVICE_POISON", "1", 1);
+
+    BatchRequest batch = service::smokeSweepBatch();
+    batch.label = "poisoned";
+    batch.jobs[1].poison = true;
+
+    ServiceOptions opts;
+    opts.workers = 2;
+    opts.useStore = false;
+    SweepService svc(opts);
+
+    std::ostringstream sink;
+    std::vector<JobOutcome> outcomes;
+    const BatchSummary summary =
+        svc.runBatch(batch, sink, &outcomes);
+    unsetenv("REMAP_SERVICE_POISON");
+
+    // The poisoned job killed its first worker, was retried on a
+    // fresh one (poison cleared) and succeeded; nothing else was
+    // disturbed.
+    EXPECT_EQ(summary.ok, batch.jobs.size());
+    EXPECT_EQ(summary.failed, 0u);
+    EXPECT_EQ(summary.retried, 1u);
+    ASSERT_TRUE(outcomes[1].ok) << outcomes[1].error;
+    EXPECT_TRUE(outcomes[1].retried);
+
+    // And the retried result is still bit-identical to in-process.
+    const power::EnergyModel model;
+    const harness::RegionResult ref = harness::runRegion(
+        *batch.jobs[1].info, batch.jobs[1].spec, model);
+    expectResultsBitEqual(outcomes[1].result, ref, "retried job");
+}
+
+TEST(ServiceTest, ServeStreamReportsParseErrorsAndContinues)
+{
+    resetStore();
+    ServiceOptions opts;
+    opts.workers = 1;
+    SweepService svc(opts);
+
+    std::ostringstream req;
+    req << "{\"jobs\": \"not an array\"}\n";
+    std::ostringstream one;
+    service::writeBatchRequest(one, service::smokeSweepBatch());
+    req << one.str() << "\n";
+
+    std::istringstream in(req.str());
+    std::ostringstream out;
+    const std::size_t failed = svc.serveStream(in, out);
+    EXPECT_EQ(failed, 1u); // the bad request, not the good batch
+
+    // First line is the error, and a summary line follows for the
+    // well-formed batch.
+    std::istringstream lines(out.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    json::Value v;
+    ASSERT_TRUE(json::parse(line, v, nullptr));
+    EXPECT_EQ(v.at("type").str, "error");
+    bool sawSummary = false;
+    while (std::getline(lines, line)) {
+        if (json::parse(line, v, nullptr) && v.isObject() &&
+            v.has("type") && v.at("type").str == "summary") {
+            sawSummary = true;
+            EXPECT_EQ(v.at("ok").num, 6);
+        }
+    }
+    EXPECT_TRUE(sawSummary);
+}
+
+// ---------------------------------------------------------------- //
+// Manifest schema 2 round-trip
+// ---------------------------------------------------------------- //
+
+TEST(ManifestTest, Schema2RoundTripsThroughJsonValue)
+{
+    // Make sure both singleton hooks exist before the dump.
+    harness::SnapshotCache::instance();
+    ResultStore::instance();
+
+    const power::EnergyModel model;
+    harness::JobPool pool(2);
+    const std::vector<harness::RegionJob> jobs =
+        testjobs::smokeSweepJobs();
+    std::vector<harness::JobTiming> timings;
+    const std::vector<harness::RegionResult> results =
+        harness::runRegions(jobs, model, &pool, &timings);
+
+    const std::string path =
+        ::testing::TempDir() + "remap_manifest_roundtrip.json";
+    const std::string written = harness::writeRunManifest(
+        jobs, results, timings, pool.workers(), path, &pool);
+    ASSERT_EQ(written, path);
+
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    json::Value root;
+    std::string error;
+    ASSERT_TRUE(json::parse(buf.str(), root, &error)) << error;
+
+    EXPECT_EQ(root.at("schema_version").num, 2);
+    ASSERT_TRUE(root.at("host").isObject());
+    EXPECT_TRUE(
+        root.at("host").at("hardware_concurrency").isNumber());
+    EXPECT_EQ(root.at("host").at("pool_workers").num, 2);
+
+    ASSERT_TRUE(root.has("pool"));
+    for (const char *k :
+         {"jobs_executed", "steals", "max_queue_depth"})
+        EXPECT_TRUE(root.at("pool").at(k).isNumber()) << k;
+
+    ASSERT_TRUE(root.has("snapshot_cache"));
+    for (const char *k : {"hits", "misses"})
+        EXPECT_TRUE(root.at("snapshot_cache").at(k).isNumber()) << k;
+
+    // The service's store reports next to the snapshot cache via the
+    // same meta-hook registry.
+    ASSERT_TRUE(root.has("result_store"));
+    for (const char *k : {"hits", "misses", "stores", "entries"})
+        EXPECT_TRUE(root.at("result_store").at(k).isNumber()) << k;
+
+    // REMAP_PROFILE=1 is set by this binary's main(), so host-phase
+    // attribution must be present and numeric.
+    ASSERT_TRUE(root.has("host_phases"));
+    EXPECT_TRUE(root.at("host_phases").isObject());
+
+    ASSERT_TRUE(root.at("jobs").isArray());
+    ASSERT_EQ(root.at("jobs").arr.size(), jobs.size());
+    const json::Value &j0 = root.at("jobs").arr[0];
+    EXPECT_TRUE(j0.at("workload").isString());
+    EXPECT_TRUE(j0.at("variant").isString());
+    ASSERT_TRUE(j0.at("spec").isObject());
+    for (const char *k :
+         {"problem_size", "threads", "copies", "iterations"})
+        EXPECT_TRUE(j0.at("spec").at(k).isNumber()) << k;
+    ASSERT_TRUE(j0.at("result").isObject());
+    EXPECT_TRUE(j0.at("result").at("cycles").isNumber());
+    EXPECT_TRUE(j0.at("result").at("config_hash").isString());
+    EXPECT_TRUE(j0.has("wall_ms"));
+    EXPECT_TRUE(j0.has("worker"));
+
+    std::remove(path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Worker mode must win before gtest ever sees argv: this is how
+    // the service tests spawn real worker processes of themselves.
+    remap::service::maybeRunWorker(argc, argv);
+    // Host-phase profiling on for the whole binary (inherited by the
+    // workers it spawns). Profiling is pure observation — the
+    // differential tests above prove results stay bit-identical —
+    // and the manifest test asserts the host_phases section's shape.
+    setenv("REMAP_PROFILE", "1", 1);
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
