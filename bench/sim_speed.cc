@@ -24,6 +24,8 @@
 
 #include "core/system.hh"
 #include "harness/experiment.hh"
+#include "isa/interp.hh"
+#include "mem/memory_image.hh"
 #include "harness/manifest.hh"
 #include "harness/snapshot_cache.hh"
 #include "harness/parallel.hh"
@@ -266,6 +268,136 @@ BM_FigureSweep(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FigureSweep)->Unit(benchmark::kMillisecond);
+
+/**
+ * Threaded-code dispatch (tier (a), DESIGN.md §14) measured in
+ * isolation: the functional interpreter over a load/store/branch
+ * loop, computed-goto label table vs. the reference switch. The
+ * ratio of the two dispatch_insts_per_s rates is the tracked
+ * dispatch-layer speedup.
+ */
+void
+BM_DispatchThreaded(benchmark::State &state)
+{
+    auto prog = makeLoop(10000);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        mem::MemoryImage mem;
+        auto r = isa::interpret(prog, mem);
+        benchmark::DoNotOptimize(r);
+        insts += r.instructions;
+    }
+    state.counters["dispatch_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DispatchThreaded)->Unit(benchmark::kMillisecond);
+
+/** The same interpretation under REMAP_NO_THREADED=1 (the switch
+ *  tier every differential test compares against). */
+void
+BM_DispatchSwitch(benchmark::State &state)
+{
+    auto prog = makeLoop(10000);
+    setenv("REMAP_NO_THREADED", "1", 1);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        mem::MemoryImage mem;
+        auto r = isa::interpret(prog, mem);
+        benchmark::DoNotOptimize(r);
+        insts += r.instructions;
+    }
+    unsetenv("REMAP_NO_THREADED");
+    state.counters["dispatch_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DispatchSwitch)->Unit(benchmark::kMillisecond);
+
+/** The long-region batch both sampled-sweep benchmarks run: big
+ *  enough that the default SMARTS schedule fast-forwards through
+ *  most of each run. */
+std::vector<harness::RegionJob>
+makeSampledSweepJobs(bool sampled)
+{
+    using workloads::Variant;
+    std::vector<harness::RegionJob> jobs;
+    auto add = [&jobs, sampled](const char *name, unsigned size,
+                                unsigned iterations) {
+        workloads::RunSpec spec;
+        spec.variant = Variant::HwBarrier;
+        spec.problemSize = size;
+        spec.threads = 8;
+        spec.iterations = iterations;
+        if (sampled) {
+            // A sparser schedule than REMAP_SAMPLE=1's default: these
+            // regions are millions of instructions, so P = 200k still
+            // yields 25+ windows (comfortably tight CIs) while the
+            // detailed fraction drops from 6% to 1.5% — the canonical
+            // SMARTS operating point for long runs.
+            spec.sample = sampling::SampleParams{200000, 2000, 1000};
+        }
+        jobs.push_back(
+            harness::RegionJob{&workloads::byName(name), spec});
+    };
+    // Long regions (millions of committed instructions) so the
+    // per-job setup cost is amortized and the schedule spends the
+    // bulk of each run fast-forwarding — the regime sampling exists
+    // for. Short regions collapse to exact runs and measure nothing.
+    add("ll3", 1024, 300);
+    add("dijkstra", 256, 0);
+    return jobs;
+}
+
+/** Exact baseline for BM_SampledSweep: the same long regions fully
+ *  detailed. The wall_ms_per_iter ratio of the two benchmarks is
+ *  the tracked sampled-mode speedup (DESIGN.md §14). */
+void
+BM_SampledSweepExact(benchmark::State &state)
+{
+    power::EnergyModel model;
+    auto jobs = makeSampledSweepJobs(/*sampled=*/false);
+    std::uint64_t sim_cycles = 0, sim_insts = 0;
+    for (auto _ : state) {
+        auto results = harness::runRegions(jobs, model);
+        for (const auto &r : results) {
+            sim_cycles += r.cycles;
+            sim_insts += r.insts;
+        }
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_cycles),
+        benchmark::Counter::kIsRate);
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_insts),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SampledSweepExact)->Unit(benchmark::kMillisecond);
+
+/** The same batch under the default SMARTS schedule. sim_cycles here
+ *  counts *extrapolated* cycles (what the figure pipeline consumes),
+ *  so the rate reads as effective simulated cycles per host-second;
+ *  the honest host-time comparison is wall_ms_per_iter vs. the exact
+ *  benchmark above. */
+void
+BM_SampledSweep(benchmark::State &state)
+{
+    power::EnergyModel model;
+    auto jobs = makeSampledSweepJobs(/*sampled=*/true);
+    std::uint64_t sim_cycles = 0, sim_insts = 0;
+    for (auto _ : state) {
+        auto results = harness::runRegions(jobs, model);
+        for (const auto &r : results) {
+            sim_cycles += r.cycles;
+            sim_insts += r.insts;
+        }
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_cycles),
+        benchmark::Counter::kIsRate);
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_insts),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SampledSweep)->Unit(benchmark::kMillisecond);
 
 /** The fig12-shaped batch both snapshot-sweep benchmarks run. */
 std::vector<harness::RegionJob>

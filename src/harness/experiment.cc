@@ -5,6 +5,7 @@
 
 #include "harness/parallel.hh"
 #include "harness/snapshot_cache.hh"
+#include "sim/env.hh"
 #include "sim/logging.hh"
 #include "sim/profile.hh"
 #include "sim/snapshot.hh"
@@ -93,6 +94,96 @@ runThroughSnapshotCache(const workloads::WorkloadInfo &info,
     res.cycles = elapsed;
 }
 
+/**
+ * Drive @p run under the SMARTS sampling schedule already set on its
+ * System (DESIGN.md §14), optionally through the snapshot cache:
+ * window-close hooks capture snapshots at geometrically-doubling
+ * cycle boundaries (windows close in detailed mode, so the snapshot
+ * sees a normal in-flight pipeline), and a later run of the same
+ * (workload, effective spec, config-hash) key — the hash folds the
+ * schedule in — warm-starts from the boundary, with the recorded
+ * windows restored alongside. Fills the sampled-mode fields of
+ * @p res and sets res.cycles to the extrapolated estimate.
+ */
+void
+runSampledRegion(const workloads::WorkloadInfo &info,
+                 const RunSpec &spec, workloads::PreparedRun &run,
+                 RegionResult &res)
+{
+    constexpr Cycle max_cycles = 400'000'000ULL;
+
+    SnapshotCache &cache = SnapshotCache::instance();
+    const bool use_cache =
+        cache.enabled() && cache.firstBoundary() > 0;
+    const std::uint64_t hash = run.system->configHash();
+    res.configHash = hash;
+    const std::string key =
+        use_cache ? SnapshotCache::makeKey(info.name, spec, hash)
+                  : std::string();
+
+    Cycle boundary = cache.firstBoundary();
+    if (use_cache) {
+        Cycle stored = 0;
+        if (SnapshotCache::Blob blob =
+                cache.lookup(key, hash, &stored)) {
+            snap::Deserializer d(*blob);
+            snap::Header hdr;
+            if (snap::readHeader(d, &hdr) && hdr.configHash == hash) {
+                run.system->restore(d);
+            } else {
+                d.fail("header mismatch");
+            }
+            if (d.ok()) {
+                boundary = hdr.boundaryCycle * 2;
+                res.warmStarted = true;
+                res.snapshotBoundary = hdr.boundaryCycle;
+            } else {
+                REMAP_WARN("snapshot restore failed for '%s' (%s); "
+                           "running cold",
+                           key.c_str(), d.error());
+                cache.reject(key);
+                const sampling::SampleParams sp =
+                    run.system->sampleParams();
+                run = info.make(spec);
+                run.system->setSampleParams(sp);
+            }
+        }
+    }
+
+    const auto on_window = [&](std::uint64_t) {
+        if (!use_cache)
+            return;
+        const Cycle elapsed = run.system->now();
+        if (elapsed < boundary)
+            return;
+        snap::Serializer s;
+        snap::writeHeader(s, hash, elapsed);
+        run.system->save(s);
+        cache.store(key, hash, elapsed, s.take());
+        while (boundary <= elapsed)
+            boundary *= 2;
+    };
+
+    const Cycle begin = run.system->now();
+    REMAP_ASSERT(begin < max_cycles, "snapshot beyond run limit");
+    const sys::RunResult r =
+        run.system->runSampled(max_cycles - begin, on_window);
+    if (r.timedOut)
+        REMAP_FATAL("workload '%s' did not quiesce in %llu cycles",
+                    run.name.c_str(),
+                    static_cast<unsigned long long>(max_cycles));
+
+    const sampling::Estimate e = run.system->sampleEstimate();
+    res.sampled = e.sampled;
+    res.sampleWindows = e.windows;
+    res.measuredCycles = run.system->now();
+    res.warmedInsts = run.system->warmedInsts();
+    res.ciLowCycles = e.ciLowCycles();
+    res.ciHighCycles = e.ciHighCycles();
+    res.cycles = e.sampled ? static_cast<Cycle>(e.estCycles + 0.5)
+                           : run.system->now();
+}
+
 } // namespace
 
 RegionResult
@@ -101,11 +192,23 @@ runRegion(const workloads::WorkloadInfo &info, const RunSpec &spec,
 {
     workloads::PreparedRun run = info.make(spec);
     RegionResult res;
+    // Sampled mode: an explicit spec schedule wins; otherwise the
+    // REMAP_SAMPLE environment default applies. Traced runs force
+    // exact execution — functional warming commits instructions the
+    // trace would silently miss.
+    workloads::RunSpec effective = spec;
+    if (!effective.sample.enabled())
+        effective.sample = env::sampleParams();
+    if (run.system->tracer())
+        effective.sample = {};
+    run.system->setSampleParams(effective.sample);
     SnapshotCache &cache = SnapshotCache::instance();
     // Warm-starting a traced run would drop every pre-boundary trace
     // event, so tracing bypasses the cache entirely.
-    if (cache.enabled() && cache.firstBoundary() > 0 &&
-        !run.system->tracer()) {
+    if (effective.sample.enabled()) {
+        runSampledRegion(info, effective, run, res);
+    } else if (cache.enabled() && cache.firstBoundary() > 0 &&
+               !run.system->tracer()) {
         runThroughSnapshotCache(info, spec, run, res);
     } else {
         res.cycles = run.run().cycles;

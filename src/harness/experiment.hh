@@ -43,6 +43,22 @@ struct RegionResult
      *  flows into run manifests for per-job host-time attribution. */
     std::vector<std::pair<std::string, double>> hostPhaseMs;
 
+    /** @{ @name Sampled-mode results (DESIGN.md §14). When `sampled`
+     * is true, `cycles` above is the SMARTS extrapolation (so every
+     * downstream metric — cycles/unit, ED — uses it transparently),
+     * `measuredCycles` is what the mixed detailed/warming run
+     * actually simulated, and [ciLowCycles, ciHighCycles] is the 95%
+     * confidence interval on the extrapolation. Runs that finish
+     * before any fast-forward phase report sampled=false with exact
+     * cycles. */
+    bool sampled = false;
+    std::uint64_t sampleWindows = 0; ///< measured windows recorded
+    Cycle measuredCycles = 0;        ///< simulated (not extrapolated)
+    std::uint64_t warmedInsts = 0;   ///< insts fast-forwarded
+    double ciLowCycles = 0.0;
+    double ciHighCycles = 0.0;
+    /** @} */
+
     /** Cycles per work unit (Fig. 12's y-axis). */
     double
     cyclesPerUnit() const

@@ -151,6 +151,19 @@ writeRunManifest(const std::vector<RegionJob> &jobs,
                 w.kv("config_hash", hex64(results[i].configHash));
             w.kv("warm_started", results[i].warmStarted);
             w.kv("snapshot_boundary", results[i].snapshotBoundary);
+            // Sampled runs (DESIGN.md §14): `cycles` above is the
+            // SMARTS extrapolation; record the schedule's footprint
+            // and confidence interval alongside it.
+            if (results[i].sampled) {
+                w.key("sampling");
+                w.beginObject();
+                w.kv("windows", results[i].sampleWindows);
+                w.kv("measured_cycles", results[i].measuredCycles);
+                w.kv("warmed_insts", results[i].warmedInsts);
+                w.kv("ci_low_cycles", results[i].ciLowCycles);
+                w.kv("ci_high_cycles", results[i].ciHighCycles);
+                w.endObject();
+            }
             // Per-job host-time attribution (REMAP_PROFILE runs).
             if (!results[i].hostPhaseMs.empty()) {
                 w.key("host_ms");

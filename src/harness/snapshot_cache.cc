@@ -135,13 +135,28 @@ SnapshotCache::makeKey(const std::string &workload,
     // identity of a cached run. The config-hash already covers every
     // structural parameter, but the spec fields keep distinct sweep
     // points distinct even if a hash collision ever occurred.
-    char buf[160];
-    std::snprintf(buf, sizeof(buf), "%s/%s/n%u/t%u/c%u/i%u/%016llx",
-                  workload.c_str(),
-                  workloads::variantName(spec.variant),
-                  spec.problemSize, spec.threads, spec.copies,
-                  spec.iterations,
-                  static_cast<unsigned long long>(config_hash));
+    char buf[224];
+    int len =
+        std::snprintf(buf, sizeof(buf), "%s/%s/n%u/t%u/c%u/i%u",
+                      workload.c_str(),
+                      workloads::variantName(spec.variant),
+                      spec.problemSize, spec.threads, spec.copies,
+                      spec.iterations);
+    // Sampled runs get an explicit schedule segment: exact-run keys
+    // stay byte-identical to the pre-sampling format, and a sampled
+    // run can never alias an exact one even under a hash collision.
+    if (spec.sample.enabled() && len > 0 &&
+        len < static_cast<int>(sizeof(buf))) {
+        len += std::snprintf(
+            buf + len, sizeof(buf) - len, "/sP%llu_M%llu_W%llu",
+            static_cast<unsigned long long>(spec.sample.period),
+            static_cast<unsigned long long>(spec.sample.window),
+            static_cast<unsigned long long>(spec.sample.warm));
+    }
+    if (len > 0 && len < static_cast<int>(sizeof(buf))) {
+        std::snprintf(buf + len, sizeof(buf) - len, "/%016llx",
+                      static_cast<unsigned long long>(config_hash));
+    }
     return buf;
 }
 

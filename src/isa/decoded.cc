@@ -8,6 +8,7 @@ decodeOne(const Instruction &inst)
 {
     DecodedInst d;
     d.cls = inst.opClass();
+    d.handler = static_cast<std::uint8_t>(inst.op);
 
     std::uint16_t f = 0;
     if (inst.readsIntRs1())

@@ -66,6 +66,12 @@ struct DecodedInst
 {
     OpClass cls = OpClass::IntAlu;
     std::uint16_t flags = 0;
+    /** Direct dispatch-table index for threaded-code execution: the
+     *  opcode as an integer, valid as an index into any handler table
+     *  laid out in Opcode declaration order (the computed-goto label
+     *  tables in interp.cc / core.cc). Pre-extracted so the dispatch
+     *  loops load one byte instead of re-reading Instruction::op. */
+    std::uint8_t handler = 0;
 };
 
 /**

@@ -1,8 +1,8 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "sim/env.hh"
 #include "sim/logging.hh"
 
 namespace remap::mem
@@ -24,7 +24,7 @@ Cache::Cache(const CacheParams &params)
     REMAP_ASSERT(params_.assoc <= 256,
                  "associativity exceeds the MRU way table width");
     mruWay_.assign(numSets_, 0);
-    mruEnabled_ = std::getenv("REMAP_NO_MRU") == nullptr;
+    mruEnabled_ = !env::noMru();
 
     statGroup_.addCounter("hits", &hits);
     statGroup_.addCounter("misses", &misses);

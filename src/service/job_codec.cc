@@ -80,6 +80,21 @@ readUnsigned(const json::Value &obj, const char *key, unsigned *out,
     return true;
 }
 
+/** 64-bit flavour of readUnsigned, for sampling inst counts. */
+bool
+readU64(const json::Value &obj, const char *key, std::uint64_t *out,
+        std::string *error)
+{
+    if (!obj.has(key))
+        return true;
+    const json::Value &v = obj.at(key);
+    if (!v.isNumber() || v.num < 0 || v.num != std::floor(v.num))
+        return fail(error, std::string("'") + key +
+                               "' must be a non-negative integer");
+    *out = static_cast<std::uint64_t>(v.num);
+    return true;
+}
+
 /** Parse one job object (shared by batch requests and job lines). */
 bool
 parseJobObject(const json::Value &j, JobRequest *out,
@@ -121,10 +136,51 @@ parseJobObject(const json::Value &j, JobRequest *out,
                           error))
             return false;
     }
+    // Sampled mode (DESIGN.md §14): {"mode": "sampled"} turns on the
+    // default SMARTS schedule; an optional "sample" object overrides
+    // individual knobs. Absent mode (or "exact") runs exactly.
+    if (j.has("mode")) {
+        if (!j.at("mode").isString())
+            return fail(error, "'mode' must be a string");
+        const std::string &mode = j.at("mode").str;
+        if (mode == "sampled")
+            out->spec.sample = sampling::SampleParams::defaults();
+        else if (mode != "exact")
+            return fail(error, "unknown mode '" + mode + "'");
+    }
+    if (j.has("sample")) {
+        const json::Value &s = j.at("sample");
+        if (!s.isObject())
+            return fail(error, "'sample' must be an object");
+        if (!out->spec.sample.enabled())
+            out->spec.sample = sampling::SampleParams::defaults();
+        if (!readU64(s, "period", &out->spec.sample.period, error) ||
+            !readU64(s, "window", &out->spec.sample.window, error) ||
+            !readU64(s, "warm", &out->spec.sample.warm, error))
+            return false;
+        if (!out->spec.sample.enabled())
+            return fail(error,
+                        "'sample' must have a non-zero period");
+    }
     out->poison =
         j.has("poison") && j.at("poison").isBool() &&
         j.at("poison").boolean;
     return true;
+}
+
+/** Job-side sampling fields, shared by batch jobs and job lines. */
+void
+writeJobSampling(json::Writer &w, const JobRequest &job)
+{
+    if (!job.spec.sample.enabled())
+        return;
+    w.kv("mode", "sampled");
+    w.key("sample");
+    w.beginObject();
+    w.kv("period", job.spec.sample.period);
+    w.kv("window", job.spec.sample.window);
+    w.kv("warm", job.spec.sample.warm);
+    w.endObject();
 }
 
 void
@@ -140,6 +196,7 @@ writeJobObject(json::Writer &w, const JobRequest &job)
     w.kv("copies", job.spec.copies);
     w.kv("iterations", job.spec.iterations);
     w.endObject();
+    writeJobSampling(w, job);
     if (job.poison)
         w.kv("poison", true);
     w.endObject();
@@ -247,6 +304,17 @@ writeRegionResultJson(json::Writer &w,
     w.kv("warm_started", res.warmStarted);
     w.kv("snapshot_boundary",
          static_cast<std::uint64_t>(res.snapshotBoundary));
+    if (res.sampled) {
+        w.key("sampling");
+        w.beginObject();
+        w.kv("windows", res.sampleWindows);
+        w.kv("measured_cycles",
+             static_cast<std::uint64_t>(res.measuredCycles));
+        w.kv("warmed_insts", res.warmedInsts);
+        w.kvExact("ci_low_cycles", res.ciLowCycles);
+        w.kvExact("ci_high_cycles", res.ciHighCycles);
+        w.endObject();
+    }
     if (!res.hostPhaseMs.empty()) {
         w.key("host_ms");
         w.beginObject();
@@ -280,6 +348,26 @@ parseRegionResult(const json::Value &v, harness::RegionResult *out,
     if (!v.has("config_hash") || !v.at("config_hash").isString() ||
         !parseHex64(v.at("config_hash").str, &out->configHash))
         return fail(error, "result missing hex 'config_hash'");
+    if (v.has("sampling") && v.at("sampling").isObject()) {
+        const json::Value &s = v.at("sampling");
+        out->sampled = true;
+        if (s.has("windows") && s.at("windows").isNumber())
+            out->sampleWindows =
+                static_cast<std::uint64_t>(s.at("windows").num);
+        if (s.has("measured_cycles") &&
+            s.at("measured_cycles").isNumber())
+            out->measuredCycles =
+                static_cast<Cycle>(s.at("measured_cycles").num);
+        if (s.has("warmed_insts") && s.at("warmed_insts").isNumber())
+            out->warmedInsts =
+                static_cast<std::uint64_t>(s.at("warmed_insts").num);
+        if (s.has("ci_low_cycles") &&
+            s.at("ci_low_cycles").isNumber())
+            out->ciLowCycles = s.at("ci_low_cycles").num;
+        if (s.has("ci_high_cycles") &&
+            s.at("ci_high_cycles").isNumber())
+            out->ciHighCycles = s.at("ci_high_cycles").num;
+    }
     if (v.has("host_ms") && v.at("host_ms").isObject())
         for (const auto &[phase, ms] : v.at("host_ms").obj)
             if (ms.isNumber())
@@ -362,6 +450,7 @@ writeJobLine(std::ostream &os, std::size_t id, const JobRequest &job)
     w.kv("copies", job.spec.copies);
     w.kv("iterations", job.spec.iterations);
     w.endObject();
+    writeJobSampling(w, job);
     if (job.poison)
         w.kv("poison", true);
     w.endObject();

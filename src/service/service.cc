@@ -20,6 +20,7 @@
 #include "harness/parallel.hh"
 #include "harness/snapshot_cache.hh"
 #include "service/result_store.hh"
+#include "sim/env.hh"
 #include "sim/json.hh"
 #include "sim/json_value.hh"
 #include "sim/logging.hh"
@@ -36,6 +37,17 @@ elapsedMs(std::chrono::steady_clock::time_point t0)
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - t0)
         .count();
+}
+
+/** The spec a worker actually runs: mirror runRegion's REMAP_SAMPLE
+ *  fallback so store keys/hashes match what the worker simulates. */
+workloads::RunSpec
+effectiveSpec(const workloads::RunSpec &spec)
+{
+    workloads::RunSpec eff = spec;
+    if (!eff.sample.enabled())
+        eff.sample = env::sampleParams();
+    return eff;
 }
 
 void
@@ -130,10 +142,12 @@ SweepService::runBatch(const BatchRequest &batch, std::ostream &out,
             continue;
         }
         const auto t0 = std::chrono::steady_clock::now();
-        workloads::PreparedRun probe = jobs[i].info->make(jobs[i].spec);
+        const workloads::RunSpec spec = effectiveSpec(jobs[i].spec);
+        workloads::PreparedRun probe = jobs[i].info->make(spec);
+        probe.system->setSampleParams(spec.sample);
         const std::uint64_t hash = probe.system->configHash();
         const std::string key = harness::SnapshotCache::makeKey(
-            jobs[i].info->name, jobs[i].spec, hash);
+            jobs[i].info->name, spec, hash);
         harness::RegionResult cached;
         if (store.lookup(key, hash, &cached)) {
             JobOutcome o;
@@ -282,7 +296,7 @@ SweepService::runBatch(const BatchRequest &batch, std::ostream &out,
                             const std::string key =
                                 harness::SnapshotCache::makeKey(
                                     jobs[o.id].info->name,
-                                    jobs[o.id].spec,
+                                    effectiveSpec(jobs[o.id].spec),
                                     o.result.configHash);
                             store.store(key, o.result.configHash,
                                         o.result);

@@ -1,0 +1,111 @@
+#include "sim/env.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace remap::env
+{
+namespace
+{
+
+/** Read a boolean kill switch, logging the first time it is seen
+ *  set. The value is re-read every call (tests toggle switches with
+ *  setenv() around component construction); only the announcement is
+ *  once-per-process. */
+bool
+killSwitch(const char *name, const char *what,
+           std::atomic<bool> &announced)
+{
+    const bool set = std::getenv(name) != nullptr;
+    if (set && !announced.exchange(true))
+        REMAP_INFORM("%s set: %s disabled", name, what);
+    return set;
+}
+
+} // namespace
+
+bool
+noLeap()
+{
+    static std::atomic<bool> announced{false};
+    return killSwitch("REMAP_NO_LEAP", "event-horizon leap scheduler",
+                      announced);
+}
+
+bool
+noBlockCache()
+{
+    static std::atomic<bool> announced{false};
+    return killSwitch("REMAP_NO_BLOCK_CACHE",
+                      "decoded basic-block cache", announced);
+}
+
+bool
+noMru()
+{
+    static std::atomic<bool> announced{false};
+    return killSwitch("REMAP_NO_MRU", "cache MRU-way fast path",
+                      announced);
+}
+
+bool
+noThreaded()
+{
+    static std::atomic<bool> announced{false};
+    return killSwitch("REMAP_NO_THREADED",
+                      "computed-goto threaded dispatch", announced);
+}
+
+sampling::SampleParams
+sampleParams()
+{
+    const char *env = std::getenv("REMAP_SAMPLE");
+    if (!env || !*env)
+        return sampling::SampleParams{};
+
+    sampling::SampleParams p = sampling::SampleParams::defaults();
+    if (std::strcmp(env, "1") != 0) {
+        // P[,M[,W]] — period, measured window, detailed warm-up.
+        unsigned long long period = 0, window = 0, warm = 0;
+        const int n = std::sscanf(env, "%llu,%llu,%llu", &period,
+                                  &window, &warm);
+        if (n < 1 || period == 0) {
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true)) {
+                REMAP_WARN("ignoring invalid REMAP_SAMPLE='%s' "
+                           "(want P[,M[,W]] instructions)", env);
+            }
+            return sampling::SampleParams{};
+        }
+        p.period = period;
+        if (n >= 2)
+            p.window = window;
+        if (n >= 3)
+            p.warm = warm;
+    }
+
+    if (p.warm + p.window > p.period) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            REMAP_WARN("REMAP_SAMPLE warm+window exceeds the period; "
+                       "sampling disabled");
+        }
+        return sampling::SampleParams{};
+    }
+
+    static std::atomic<bool> announced{false};
+    if (!announced.exchange(true)) {
+        REMAP_INFORM("REMAP_SAMPLE set: sampled mode (period=%llu "
+                     "window=%llu warm=%llu insts)",
+                     static_cast<unsigned long long>(p.period),
+                     static_cast<unsigned long long>(p.window),
+                     static_cast<unsigned long long>(p.warm));
+    }
+    return p;
+}
+
+} // namespace remap::env

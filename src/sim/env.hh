@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Centralized REMAP_* environment-switch reads.
+ *
+ * Every kill switch and mode override the simulator honours is
+ * declared here, parsed in one place and announced once per process
+ * (like the JobPool worker-count log), instead of ad-hoc getenv()
+ * calls scattered through component constructors. The helpers still
+ * re-read the environment on every call — the differential tests
+ * flip switches with setenv()/unsetenv() around component
+ * construction, and components latch the value in their constructor
+ * — but the *first* observation of a set switch is logged, so a run
+ * with REMAP_NO_LEAP=1 is explainable from its log.
+ *
+ * Switches:
+ *  - REMAP_NO_LEAP=1        disable the event-horizon leap scheduler
+ *  - REMAP_NO_BLOCK_CACHE=1 disable the decoded basic-block cache
+ *  - REMAP_NO_MRU=1         disable the cache MRU-way fast path
+ *  - REMAP_NO_THREADED=1    disable computed-goto threaded dispatch
+ *  - REMAP_SAMPLE=P[,W[,M]] default sampled-mode schedule (see
+ *                           env::sampleParams())
+ */
+
+#ifndef REMAP_SIM_ENV_HH
+#define REMAP_SIM_ENV_HH
+
+#include "sim/sampling.hh"
+
+namespace remap::env
+{
+
+/** True when REMAP_NO_LEAP is set: event-horizon leap disabled. */
+bool noLeap();
+
+/** True when REMAP_NO_BLOCK_CACHE is set: decoded-block cache off. */
+bool noBlockCache();
+
+/** True when REMAP_NO_MRU is set: cache MRU-way fast path off. */
+bool noMru();
+
+/** True when REMAP_NO_THREADED is set: computed-goto dispatch off
+ *  (generic switch dispatch everywhere). */
+bool noThreaded();
+
+/**
+ * The sampled-mode schedule requested via REMAP_SAMPLE, or a
+ * disabled default when the variable is unset.
+ *
+ * Accepted forms: "1" (the built-in default schedule),
+ * "P" (period P, default window/warm lengths), "P,M" and "P,M,W"
+ * (explicit period / measured-window / detailed-warm-up lengths, all
+ * in committed instructions). Invalid values warn once and leave
+ * sampling disabled.
+ */
+sampling::SampleParams sampleParams();
+
+} // namespace remap::env
+
+#endif // REMAP_SIM_ENV_HH

@@ -1,0 +1,75 @@
+#include "sim/sampling.hh"
+
+#include <cmath>
+
+namespace remap::sampling
+{
+
+double
+cpiMean(const std::vector<WindowSample> &windows)
+{
+    // Instruction-weighted ratio estimator: total window cycles over
+    // total window instructions. With the schedule's equal-length
+    // windows this equals the plain mean of per-window CPIs, but it
+    // stays unbiased when window lengths vary — the final window is
+    // cut short when the run quiesces, and chip-wide scheduling can
+    // overshoot a boundary by a chunk — where an unweighted mean
+    // would give a tiny tail window the same vote as a full one.
+    std::uint64_t cycles = 0, insts = 0;
+    for (const WindowSample &w : windows) {
+        cycles += w.cycles;
+        insts += w.insts;
+    }
+    return insts ? static_cast<double>(cycles) /
+                       static_cast<double>(insts)
+                 : 0.0;
+}
+
+double
+cpiStderr(const std::vector<WindowSample> &windows)
+{
+    const std::size_t n = windows.size();
+    if (n < 2)
+        return 0.0;
+    const double mean = cpiMean(windows);
+    double ss = 0.0;
+    for (const WindowSample &w : windows) {
+        const double d = w.cpi() - mean;
+        ss += d * d;
+    }
+    const double var = ss / static_cast<double>(n - 1);
+    return std::sqrt(var / static_cast<double>(n));
+}
+
+Estimate
+estimate(const std::vector<WindowSample> &windows,
+         std::uint64_t total_insts, std::uint64_t measured_cycles,
+         std::uint64_t warmed_insts)
+{
+    Estimate e;
+    e.windows = windows.size();
+    e.measuredCycles = measured_cycles;
+    e.insts = total_insts;
+
+    if (warmed_insts == 0 || windows.empty()) {
+        // The run never fast-forwarded (or produced no usable
+        // window): the simulated cycle count is exact.
+        e.sampled = false;
+        e.estCycles = static_cast<double>(measured_cycles);
+        return e;
+    }
+
+    e.sampled = true;
+    e.cpiMean = cpiMean(windows);
+    e.cpiStderr = cpiStderr(windows);
+    const double insts = static_cast<double>(total_insts);
+    e.estCycles = e.cpiMean * insts;
+    // Normal-approximation 95% interval on the mean CPI, scaled to
+    // total cycles. With one window the stderr (and the interval) is
+    // zero; the reported interval is then "no variance information",
+    // not "no error" — the docs call this out.
+    e.ciHalfWidthCycles = 1.96 * e.cpiStderr * insts;
+    return e;
+}
+
+} // namespace remap::sampling

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * SMARTS-style sampled-simulation schedule and estimator.
+ *
+ * Sampled mode alternates three phases on an instruction-count
+ * schedule: a detailed *warm-up* (full OOO timing, not measured, so
+ * pipeline/queue state recovers from the fast-forward), a detailed
+ * *measured window* (full timing, contributes one CPI observation),
+ * and *functional warming* fast-forward (architectural execution
+ * plus cache/branch-predictor/SPL warming at one instruction per
+ * cycle, no OOO pipeline). Each period of P committed instructions
+ * is laid out [warm W | window M | functional warming P-W-M].
+ *
+ * The estimator treats the per-window CPI values as an i.i.d. sample
+ * (the systematic-sampling approximation of Wunderlich et al.,
+ * SMARTS, ISCA'03): estimated cycles = mean CPI x total committed
+ * instructions, with a normal-approximation 95% confidence interval
+ * from the sample standard error. The math lives in free functions
+ * with no simulator dependencies so unit tests can check it against
+ * hand-computed oracles.
+ */
+
+#ifndef REMAP_SIM_SAMPLING_HH
+#define REMAP_SIM_SAMPLING_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace remap::sampling
+{
+
+/** The instruction-count sampling schedule. All lengths are in
+ *  committed instructions; period == 0 means sampling is off. */
+struct SampleParams
+{
+    std::uint64_t period = 0; ///< instructions per sampling period
+    std::uint64_t window = 0; ///< measured detailed window length
+    std::uint64_t warm = 0;   ///< detailed warm-up before the window
+
+    bool enabled() const { return period > 0; }
+
+    /** The default schedule selected by REMAP_SAMPLE=1. */
+    static SampleParams defaults()
+    {
+        return SampleParams{50000, 2000, 1000};
+    }
+
+    friend bool operator==(const SampleParams &a, const SampleParams &b)
+    {
+        return a.period == b.period && a.window == b.window &&
+               a.warm == b.warm;
+    }
+};
+
+/** One measured window: cycle and instruction deltas over the
+ *  detailed measured phase. */
+struct WindowSample
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+
+    double cpi() const
+    {
+        return insts ? static_cast<double>(cycles) /
+                           static_cast<double>(insts)
+                     : 0.0;
+    }
+};
+
+/** The extrapolated result of a sampled run. */
+struct Estimate
+{
+    bool sampled = false;      ///< false: run was fully detailed
+    std::uint64_t windows = 0; ///< number of measured windows
+    double cpiMean = 0.0;      ///< mean CPI over the windows
+    double cpiStderr = 0.0;    ///< standard error of the mean CPI
+    double estCycles = 0.0;    ///< extrapolated total cycles
+    double ciHalfWidthCycles = 0.0; ///< 95% CI half-width, cycles
+    std::uint64_t measuredCycles = 0; ///< raw simulated cycles
+    std::uint64_t insts = 0;   ///< exact total committed instructions
+
+    double ciLowCycles() const { return estCycles - ciHalfWidthCycles; }
+    double ciHighCycles() const { return estCycles + ciHalfWidthCycles; }
+};
+
+/** Instruction-weighted mean CPI over the windows — total window
+ *  cycles / total window instructions (0 when empty). Equals the
+ *  plain per-window mean for the schedule's equal-length windows but
+ *  stays unbiased for the cut-short final window. */
+double cpiMean(const std::vector<WindowSample> &windows);
+
+/** Standard error of the mean CPI: s / sqrt(n) with the n-1 sample
+ *  variance of the per-window CPIs around cpiMean(). Zero for fewer
+ *  than two windows. */
+double cpiStderr(const std::vector<WindowSample> &windows);
+
+/**
+ * Build the extrapolated estimate for a run that committed
+ * @p total_insts instructions in @p measured_cycles simulated cycles
+ * (detailed + functional-warming cycles combined), with
+ * @p warmed_insts of those instructions executed under functional
+ * warming. When @p warmed_insts is zero the run never left detailed
+ * mode (short region): the estimate collapses to the exact cycle
+ * count with a zero-width interval and `sampled == false`.
+ */
+Estimate estimate(const std::vector<WindowSample> &windows,
+                  std::uint64_t total_insts,
+                  std::uint64_t measured_cycles,
+                  std::uint64_t warmed_insts);
+
+} // namespace remap::sampling
+
+#endif // REMAP_SIM_SAMPLING_HH

@@ -1,12 +1,13 @@
-/** @file The decoded-block-cache / memory-fast-path headline
- *  guarantee, enforced end-to-end: a run with the fast paths enabled
- *  (the default) is bit-identical — cycles, every statistics counter,
- *  energy, the full serialized snapshot and the trace byte stream —
- *  to the reference interpretation loop (REMAP_NO_BLOCK_CACHE=1
- *  REMAP_NO_MRU=1), for every region any fig8-fig14 driver simulates.
- *  The job enumeration is shared with the leap and snapshot
- *  differential suites (region_jobs.hh), so all three proofs cover
- *  the same regions. */
+/** @file The decoded-block-cache / memory-fast-path / threaded-
+ *  dispatch headline guarantee, enforced end-to-end: a run with the
+ *  fast paths enabled (the default) is bit-identical — cycles, every
+ *  statistics counter, energy, the full serialized snapshot and the
+ *  trace byte stream — to both the switch-dispatch fused loop
+ *  (REMAP_NO_THREADED=1) and the reference interpretation loop
+ *  (REMAP_NO_THREADED=1 REMAP_NO_BLOCK_CACHE=1 REMAP_NO_MRU=1), for
+ *  every region any fig8-fig14 driver simulates. The job enumeration
+ *  is shared with the leap and snapshot differential suites
+ *  (region_jobs.hh), so all three proofs cover the same regions. */
 
 #include <gtest/gtest.h>
 
@@ -44,20 +45,34 @@ struct Probe
     std::string traceBytes; ///< empty when tracing was off
 };
 
-/** Build and run @p spec with the fast paths selected by @p fast
- *  (both kill switches are read at component construction), then
- *  capture every observable the run produced. */
+/** Which execution-engine kill switches a probe runs under. All are
+ *  read at component construction (sim/env.hh). */
+enum class Paths
+{
+    Full,       ///< the default: threaded dispatch + all fast paths
+    NoThreaded, ///< switch-dispatch fused loop, fast paths on
+    Reference,  ///< one-instruction interpretation loop, nothing on
+};
+
+/** Build and run @p spec under @p paths, then capture every
+ *  observable the run produced. */
 Probe
 runProbe(const workloads::WorkloadInfo &info, const RunSpec &spec,
-         bool fast, const char *trace_path = nullptr,
+         Paths paths, const char *trace_path = nullptr,
          Cycle trace_period = 0)
 {
-    if (!fast) {
+    if (paths != Paths::Full) {
+        EXPECT_EQ(setenv("REMAP_NO_THREADED", "1", 1), 0);
+    }
+    if (paths == Paths::Reference) {
         EXPECT_EQ(setenv("REMAP_NO_BLOCK_CACHE", "1", 1), 0);
         EXPECT_EQ(setenv("REMAP_NO_MRU", "1", 1), 0);
     }
     workloads::PreparedRun r = info.make(spec);
-    if (!fast) {
+    if (paths != Paths::Full) {
+        EXPECT_EQ(unsetenv("REMAP_NO_THREADED"), 0);
+    }
+    if (paths == Paths::Reference) {
         EXPECT_EQ(unsetenv("REMAP_NO_BLOCK_CACHE"), 0);
         EXPECT_EQ(unsetenv("REMAP_NO_MRU"), 0);
     }
@@ -125,9 +140,12 @@ fastPathDiffJobs(const std::vector<RegionJob> &jobs)
             continue;
         SCOPED_TRACE(key);
         const Probe with_fast =
-            runProbe(*job.info, job.spec, /*fast=*/true);
+            runProbe(*job.info, job.spec, Paths::Full);
+        const Probe no_threaded =
+            runProbe(*job.info, job.spec, Paths::NoThreaded);
         const Probe reference =
-            runProbe(*job.info, job.spec, /*fast=*/false);
+            runProbe(*job.info, job.spec, Paths::Reference);
+        expectIdentical(with_fast, no_threaded);
         expectIdentical(with_fast, reference);
     }
 }
@@ -175,10 +193,15 @@ TEST(FastPathDifferential, TracedRunsAreByteIdentical)
     spec.threads = 8;
 
     const Probe with_fast = runProbe(
-        info, spec, /*fast=*/true, "/tmp/remap_fpdiff_a.json", 500);
+        info, spec, Paths::Full, "/tmp/remap_fpdiff_a.json", 500);
+    const Probe no_threaded = runProbe(
+        info, spec, Paths::NoThreaded, "/tmp/remap_fpdiff_b.json",
+        500);
     const Probe reference = runProbe(
-        info, spec, /*fast=*/false, "/tmp/remap_fpdiff_b.json", 500);
+        info, spec, Paths::Reference, "/tmp/remap_fpdiff_c.json",
+        500);
     ASSERT_FALSE(with_fast.traceBytes.empty());
+    expectIdentical(with_fast, no_threaded);
     expectIdentical(with_fast, reference);
 }
 
@@ -205,9 +228,11 @@ TEST(FastPathDifferential, WarmStartedRunsAreBitIdentical)
     ASSERT_TRUE(warm.warmStarted);
 
     cache.setEnabled(false);
+    ASSERT_EQ(setenv("REMAP_NO_THREADED", "1", 1), 0);
     ASSERT_EQ(setenv("REMAP_NO_BLOCK_CACHE", "1", 1), 0);
     ASSERT_EQ(setenv("REMAP_NO_MRU", "1", 1), 0);
     const auto reference = harness::runRegion(info, spec, model);
+    ASSERT_EQ(unsetenv("REMAP_NO_THREADED"), 0);
     ASSERT_EQ(unsetenv("REMAP_NO_BLOCK_CACHE"), 0);
     ASSERT_EQ(unsetenv("REMAP_NO_MRU"), 0);
 

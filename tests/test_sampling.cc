@@ -1,0 +1,231 @@
+/** @file SMARTS-style sampled simulation (DESIGN.md §14), proven at
+ *  three levels: the estimator math against hand-computed oracles,
+ *  the accuracy contract (extrapolated cycles within ±2% of the exact
+ *  run on fig8-style regions, golden outputs still bit-exact), and
+ *  the keying guarantee (sampled runs never alias exact runs in the
+ *  snapshot cache / result store). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/snapshot_cache.hh"
+#include "sim/env.hh"
+#include "sim/sampling.hh"
+#include "workloads/workload.hh"
+
+namespace remap
+{
+namespace
+{
+
+using sampling::Estimate;
+using sampling::SampleParams;
+using sampling::WindowSample;
+using workloads::RunSpec;
+using workloads::Variant;
+
+TEST(SamplingMath, MeanAndStderrMatchHandComputation)
+{
+    // CPIs 2.0, 4.0, 3.0: mean 3; deviations -1, +1, 0 give the
+    // n-1 sample variance 2/2 = 1, stderr sqrt(1/3).
+    const std::vector<WindowSample> w = {
+        {10, 5}, {20, 5}, {30, 10}};
+    EXPECT_DOUBLE_EQ(sampling::cpiMean(w), 3.0);
+    EXPECT_DOUBLE_EQ(sampling::cpiStderr(w), std::sqrt(1.0 / 3.0));
+}
+
+TEST(SamplingMath, EstimateExtrapolatesWithConfidenceInterval)
+{
+    // CPIs 2.0 and 4.0: mean 3, sample variance 2, stderr 1. Over
+    // 1000 total instructions the estimate is 3000 cycles with a
+    // 95% half-width of 1.96 * 1 * 1000.
+    const std::vector<WindowSample> w = {{20, 10}, {40, 10}};
+    const Estimate e = sampling::estimate(w, 1000, 700, 400);
+    EXPECT_TRUE(e.sampled);
+    EXPECT_EQ(e.windows, 2u);
+    EXPECT_DOUBLE_EQ(e.cpiMean, 3.0);
+    EXPECT_DOUBLE_EQ(e.cpiStderr, 1.0);
+    EXPECT_DOUBLE_EQ(e.estCycles, 3000.0);
+    EXPECT_DOUBLE_EQ(e.ciHalfWidthCycles, 1.96 * 1000.0);
+    EXPECT_DOUBLE_EQ(e.ciLowCycles(), 3000.0 - 1960.0);
+    EXPECT_DOUBLE_EQ(e.ciHighCycles(), 3000.0 + 1960.0);
+    EXPECT_EQ(e.measuredCycles, 700u);
+    EXPECT_EQ(e.insts, 1000u);
+}
+
+TEST(SamplingMath, CollapsesToExactWhenNeverFastForwarded)
+{
+    // warmed_insts == 0 means the whole run was detailed: the
+    // simulated cycle count is exact, no extrapolation.
+    const std::vector<WindowSample> w = {{20, 10}};
+    Estimate e = sampling::estimate(w, 500, 1234, 0);
+    EXPECT_FALSE(e.sampled);
+    EXPECT_DOUBLE_EQ(e.estCycles, 1234.0);
+    EXPECT_DOUBLE_EQ(e.ciHalfWidthCycles, 0.0);
+
+    // No usable window (quiesced inside the first warm-up) also
+    // collapses, even if warming instructions were executed.
+    e = sampling::estimate({}, 500, 1234, 100);
+    EXPECT_FALSE(e.sampled);
+    EXPECT_DOUBLE_EQ(e.estCycles, 1234.0);
+}
+
+TEST(SamplingMath, SingleWindowHasZeroWidthInterval)
+{
+    const std::vector<WindowSample> w = {{30, 10}};
+    const Estimate e = sampling::estimate(w, 100, 60, 40);
+    EXPECT_TRUE(e.sampled);
+    EXPECT_DOUBLE_EQ(e.cpiStderr, 0.0);
+    EXPECT_DOUBLE_EQ(e.estCycles, 300.0);
+    EXPECT_DOUBLE_EQ(e.ciHalfWidthCycles, 0.0);
+}
+
+TEST(Sampling, EnvSelectsSchedule)
+{
+    ASSERT_EQ(unsetenv("REMAP_SAMPLE"), 0);
+    EXPECT_FALSE(env::sampleParams().enabled());
+
+    ASSERT_EQ(setenv("REMAP_SAMPLE", "1", 1), 0);
+    EXPECT_EQ(env::sampleParams(), SampleParams::defaults());
+
+    ASSERT_EQ(setenv("REMAP_SAMPLE", "8000,800,400", 1), 0);
+    const SampleParams p = env::sampleParams();
+    EXPECT_EQ(p.period, 8000u);
+    EXPECT_EQ(p.window, 800u);
+    EXPECT_EQ(p.warm, 400u);
+
+    ASSERT_EQ(unsetenv("REMAP_SAMPLE"), 0);
+}
+
+TEST(Sampling, SampledKeysNeverAliasExactOnes)
+{
+    const auto &info = workloads::byName("ll2");
+    RunSpec exact;
+    exact.variant = Variant::HwBarrier;
+    exact.problemSize = 64;
+    exact.threads = 8;
+    RunSpec sampled = exact;
+    sampled.sample = SampleParams::defaults();
+    RunSpec sampled2 = exact;
+    sampled2.sample = SampleParams{8000, 800, 400};
+
+    // The cache/store key carries the schedule...
+    const std::string k_exact =
+        harness::SnapshotCache::makeKey(info.name, exact, 0);
+    const std::string k_sampled =
+        harness::SnapshotCache::makeKey(info.name, sampled, 0);
+    const std::string k_sampled2 =
+        harness::SnapshotCache::makeKey(info.name, sampled2, 0);
+    EXPECT_NE(k_exact, k_sampled);
+    EXPECT_NE(k_exact, k_sampled2);
+    EXPECT_NE(k_sampled, k_sampled2);
+
+    // ...and so does configHash(), so even hash-checked store hits
+    // cannot cross the exact/sampled boundary.
+    workloads::PreparedRun a = info.make(exact);
+    workloads::PreparedRun b = info.make(exact);
+    const std::uint64_t h_exact = a.system->configHash();
+    b.system->setSampleParams(sampled.sample);
+    const std::uint64_t h_sampled = b.system->configHash();
+    EXPECT_NE(h_exact, h_sampled);
+
+    // An exact spec's hash is schedule-independent (stays stable
+    // across this PR for every existing stored result).
+    a.system->setSampleParams(SampleParams{});
+    EXPECT_EQ(a.system->configHash(), h_exact);
+}
+
+/** Exact and sampled cycles for one region at the default SMARTS
+ *  schedule. The accuracy contract holds on *long* regions (many
+ *  periods, DESIGN.md §14), so callers boost the iteration count
+ *  instead of shrinking the schedule. */
+struct AccuracyPoint
+{
+    Cycle exactCycles = 0;
+    Estimate est;
+    bool goldenOk = false;
+};
+
+AccuracyPoint
+runAccuracyPoint(const workloads::WorkloadInfo &info,
+                 const RunSpec &spec)
+{
+    AccuracyPoint out;
+
+    workloads::PreparedRun exact = info.make(spec);
+    out.exactCycles = exact.run().cycles;
+    const std::uint64_t insts = exact.system->totalCommittedInsts();
+
+    workloads::PreparedRun run = info.make(spec);
+    run.system->setSampleParams(SampleParams::defaults());
+    run.system->runSampled();
+    out.est = run.system->sampleEstimate();
+    out.goldenOk = !run.verify || run.verify();
+    EXPECT_EQ(run.system->totalCommittedInsts(), insts)
+        << info.name << ": warming changed the committed-inst count";
+    return out;
+}
+
+TEST(Sampling, Fig8RegionsWithinTwoPercent)
+{
+    // The accuracy contract on fig8-style regions: golden outputs
+    // stay bit-exact (warming is architecturally exact), and on
+    // regions long enough to span many sampling periods the
+    // extrapolated cycles land within ±2% of the exact run at the
+    // default schedule. Iteration counts are boosted so each region
+    // commits enough instructions for 30+ measured windows. Covers
+    // compute-only regions (Seq and Comp use the SPL functional
+    // unit) plus a multicore barrier region so cross-core SPL
+    // traffic crosses the detailed/warming boundary.
+    struct Case
+    {
+        const char *workload;
+        Variant variant;
+        unsigned size, threads, iterations;
+    };
+    const Case cases[] = {
+        {"hmmer", Variant::Seq, 0, 1, 400},
+        {"adpcm", Variant::Comp, 0, 1, 60000},
+        {"ll3", Variant::HwBarrier, 1024, 8, 300},
+    };
+
+    bool any_sampled = false;
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.workload);
+        const auto &info = workloads::byName(c.workload);
+        RunSpec spec;
+        spec.variant = c.variant;
+        spec.problemSize = c.size;
+        spec.threads = c.threads;
+        spec.iterations = c.iterations;
+
+        const AccuracyPoint pt = runAccuracyPoint(info, spec);
+        EXPECT_TRUE(pt.goldenOk);
+        if (pt.est.sampled) {
+            any_sampled = true;
+            const double err =
+                std::abs(pt.est.estCycles -
+                         static_cast<double>(pt.exactCycles)) /
+                static_cast<double>(pt.exactCycles);
+            EXPECT_LE(err, 0.02)
+                << "est " << pt.est.estCycles << " vs exact "
+                << pt.exactCycles << " (" << pt.est.windows
+                << " windows, " << pt.est.insts << " insts)";
+        } else {
+            // Short region: sampled mode must collapse to exact.
+            EXPECT_DOUBLE_EQ(pt.est.estCycles,
+                             static_cast<double>(pt.exactCycles));
+        }
+    }
+    // The contract is vacuous if every region collapsed; at least
+    // one of these is long enough to fast-forward.
+    EXPECT_TRUE(any_sampled);
+}
+
+} // namespace
+} // namespace remap

@@ -46,6 +46,7 @@
 #include "service/worker.hh"
 #include "sim/json.hh"
 #include "sim/json_value.hh"
+#include "sim/sampling.hh"
 
 namespace
 {
@@ -234,6 +235,70 @@ TEST(JobCodec, JobLineCarriesPoison)
     EXPECT_EQ(parsed.info, job.info);
 }
 
+TEST(JobCodec, SampledJobRoundTripsSchedule)
+{
+    JobRequest job;
+    job.workload = "ll3";
+    job.info = service::findWorkload("ll3");
+    job.spec.variant = Variant::HwBarrier;
+    job.spec.problemSize = 256;
+    job.spec.threads = 8;
+    job.spec.sample = sampling::SampleParams{8000, 800, 400};
+
+    std::ostringstream os;
+    service::writeJobLine(os, 9, job);
+    EXPECT_NE(os.str().find("\"mode\":\"sampled\""),
+              std::string::npos)
+        << os.str();
+
+    std::size_t id = 0;
+    JobRequest parsed;
+    std::string error;
+    ASSERT_TRUE(
+        service::parseJobLine(os.str(), &id, &parsed, &error))
+        << error;
+    EXPECT_TRUE(parsed.spec.sample == job.spec.sample);
+
+    // {"mode":"sampled"} alone selects the default schedule; a bare
+    // "sample" object with a zero period is rejected.
+    BatchRequest batch;
+    ASSERT_TRUE(service::parseBatchRequest(
+        R"({"jobs":[{"workload":"ll2","variant":"Seq",)"
+        R"("mode":"sampled"}]})",
+        &batch, &error))
+        << error;
+    EXPECT_TRUE(batch.jobs[0].spec.sample ==
+                sampling::SampleParams::defaults());
+    EXPECT_FALSE(service::parseBatchRequest(
+        R"({"jobs":[{"workload":"ll2","variant":"Seq",)"
+        R"("sample":{"period":0}}]})",
+        &batch, &error));
+
+    // Sampled results round-trip their extrapolation provenance.
+    JobOutcome o;
+    o.id = 3;
+    o.ok = true;
+    o.result.cycles = 100200;
+    o.result.configHash = 0xabc0000000000002ull;
+    o.result.sampled = true;
+    o.result.sampleWindows = 17;
+    o.result.measuredCycles = 4321;
+    o.result.warmedInsts = 99000;
+    o.result.ciLowCycles = 1.0 / 3.0;
+    o.result.ciHighCycles = 2.0 / 3.0;
+    std::ostringstream rs;
+    service::writeResultLine(rs, o);
+    JobOutcome back;
+    ASSERT_TRUE(service::parseResultLine(rs.str(), &back, &error))
+        << error;
+    EXPECT_TRUE(back.result.sampled);
+    EXPECT_EQ(back.result.sampleWindows, 17u);
+    EXPECT_EQ(back.result.measuredCycles, 4321u);
+    EXPECT_EQ(back.result.warmedInsts, 99000u);
+    EXPECT_EQ(back.result.ciLowCycles, 1.0 / 3.0);
+    EXPECT_EQ(back.result.ciHighCycles, 2.0 / 3.0);
+}
+
 // ---------------------------------------------------------------- //
 // ResultStore
 // ---------------------------------------------------------------- //
@@ -280,6 +345,44 @@ TEST(ResultStoreTest, HitAfterStore)
     EXPECT_EQ(after.misses, before.misses + 1);
     EXPECT_EQ(after.stores, before.stores + 1);
     EXPECT_GT(after.bytes, 0u);
+}
+
+TEST(ResultStoreTest, SampledResultsNeverCollideWithExact)
+{
+    // The daemon keys both probes and stores through
+    // SnapshotCache::makeKey on the *effective* spec, so a sampled
+    // job and the identical exact job must occupy distinct entries:
+    // an extrapolated cycle count served to an exact request (or
+    // vice versa) would silently corrupt a figure.
+    resetStore();
+    ResultStore &s = ResultStore::instance();
+
+    const auto *info = service::findWorkload("ll2");
+    ASSERT_NE(info, nullptr);
+    workloads::RunSpec exact;
+    exact.variant = Variant::HwBarrier;
+    exact.problemSize = 32;
+    exact.threads = 8;
+    workloads::RunSpec sampled = exact;
+    sampled.sample = sampling::SampleParams::defaults();
+
+    const std::uint64_t hash = 0x1234567890abcdefull;
+    const std::string k_exact =
+        harness::SnapshotCache::makeKey(info->name, exact, hash);
+    const std::string k_sampled =
+        harness::SnapshotCache::makeKey(info->name, sampled, hash);
+    ASSERT_NE(k_exact, k_sampled);
+
+    harness::RegionResult r;
+    r.cycles = 55555;
+    r.configHash = hash;
+    r.sampled = true;
+    s.store(k_sampled, hash, r);
+
+    harness::RegionResult out;
+    EXPECT_FALSE(s.lookup(k_exact, hash, &out));
+    ASSERT_TRUE(s.lookup(k_sampled, hash, &out));
+    EXPECT_TRUE(out.sampled);
 }
 
 TEST(ResultStoreTest, EvictsLeastRecentlyUsed)
