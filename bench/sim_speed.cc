@@ -399,6 +399,45 @@ BM_SampledSweep(benchmark::State &state)
 }
 BENCHMARK(BM_SampledSweep)->Unit(benchmark::kMillisecond);
 
+/**
+ * The same sampled batch served from its checkpointed replay sets
+ * (DESIGN.md §15): a priming pass records one snapshot per measured
+ * window plus the end-of-run state, then every timed pass restores
+ * those and re-runs only the detailed windows — functional warming
+ * between windows is never simulated. Results (estimate, golden
+ * outputs, instruction counts) are bit-identical to BM_SampledSweep;
+ * the tracked number is the wall_ms_per_iter ratio against that cold
+ * benchmark.
+ */
+void
+BM_SampledReplayWarm(benchmark::State &state)
+{
+    power::EnergyModel model;
+    auto jobs = makeSampledSweepJobs(/*sampled=*/true);
+    auto &cache = harness::SnapshotCache::instance();
+    cache.setEnabled(true);
+    cache.clear();
+    // Prime: one untimed cold sampled pass captures the replay sets.
+    harness::runRegions(jobs, model);
+    std::uint64_t sim_cycles = 0, sim_insts = 0;
+    for (auto _ : state) {
+        auto results = harness::runRegions(jobs, model);
+        for (const auto &r : results) {
+            sim_cycles += r.cycles;
+            sim_insts += r.insts;
+        }
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_cycles),
+        benchmark::Counter::kIsRate);
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_insts),
+        benchmark::Counter::kIsRate);
+    cache.clear();
+    cache.setEnabled(false);
+}
+BENCHMARK(BM_SampledReplayWarm)->Unit(benchmark::kMillisecond);
+
 /** The fig12-shaped batch both snapshot-sweep benchmarks run. */
 std::vector<harness::RegionJob>
 makeSnapshotSweepJobs()

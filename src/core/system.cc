@@ -477,10 +477,28 @@ System::sampleEstimate() const
                               cycle_, warmedInsts());
 }
 
+namespace
+{
+
+// Segment granularities for sampled execution. The schedule is a
+// pure function of the committed-instruction count, checked at
+// segment boundaries, so phase transitions overshoot by at most one
+// segment — the overshoot is deterministic (same chunks every run)
+// and simply becomes part of the measured/warmed span it lands in.
+// Chunks are sized so detailed phases re-check often (windows are
+// short), warming phases run long (they are cheap), and the drain
+// transition stays fine-grained (cores flip to warming as they
+// empty, bounding mixed-mode spans). Shared with
+// replaySampledWindow(), whose bit-identity contract depends on
+// reproducing exactly these chunk sizes.
+constexpr Cycle kDetailChunk = 64;
+constexpr Cycle kDrainChunk = 16;
+constexpr Cycle kWarmChunk = 1024;
+
+} // namespace
+
 RunResult
-System::runSampled(
-    Cycle max_cycles,
-    const std::function<void(std::uint64_t)> &on_window_end)
+System::runSampled(Cycle max_cycles, const SampleHooks &hooks)
 {
     if (!sampleParams_.enabled())
         return runInternal(max_cycles, /*warn_on_timeout=*/true);
@@ -495,18 +513,6 @@ System::runSampled(
 
     RunResult result;
     const Cycle start = cycle_;
-    // Segment granularities. The schedule is a pure function of the
-    // committed-instruction count, checked at segment boundaries, so
-    // phase transitions overshoot by at most one segment — the
-    // overshoot is deterministic (same chunks every run) and simply
-    // becomes part of the measured/warmed span it lands in. Chunks
-    // are sized so detailed phases re-check often (windows are
-    // short), warming phases run long (they are cheap), and the
-    // drain transition stays fine-grained (cores flip to warming as
-    // they empty, bounding mixed-mode spans).
-    constexpr Cycle kDetailChunk = 64;
-    constexpr Cycle kDrainChunk = 16;
-    constexpr Cycle kWarmChunk = 1024;
 
     const auto remaining = [&]() -> Cycle {
         const Cycle used = cycle_ - start;
@@ -543,6 +549,9 @@ System::runSampled(
                 measuring = true;
                 window_start_insts = insts;
                 window_start_cycle = cycle_;
+                if (hooks.onWindowOpen)
+                    hooks.onWindowOpen(sampleWindows_.size(),
+                                       k * P + W + M);
             }
             const std::uint64_t target =
                 k * P + (off < W ? W : W + M);
@@ -562,8 +571,8 @@ System::runSampled(
                     {cycle_ - window_start_cycle,
                      after - window_start_insts});
                 measuring = false;
-                if (on_window_end && !finished)
-                    on_window_end(sampleWindows_.size());
+                if (hooks.onWindowEnd && !finished)
+                    hooks.onWindowEnd(sampleWindows_.size());
             }
             continue;
         }
@@ -643,6 +652,54 @@ System::runSampled(
                    static_cast<unsigned long long>(max_cycles));
     result.cycles = cycle_ - start;
     return result;
+}
+
+bool
+System::replaySampledWindow(std::uint64_t close_target_insts,
+                            Cycle max_cycles,
+                            sampling::WindowSample *out)
+{
+    REMAP_ASSERT(sampleParams_.enabled(),
+                 "window replay needs a sampling schedule");
+    // Mirror of runSampled()'s measuring-phase loop: the restored
+    // state is exactly what the original run held when its window
+    // opened, so issuing the same chunk sequence (kDetailChunk, the
+    // same live-core divisor, the same close condition) reproduces
+    // the original window cycle-for-cycle. Any drift here would be a
+    // simulator bug; the harness cross-checks the replayed samples
+    // against the originating run's recorded windows.
+    const Cycle start = cycle_;
+    const std::uint64_t start_insts = totalCommittedInsts();
+    const auto liveCores = [&]() -> std::uint64_t {
+        std::uint64_t live = 0;
+        for (const auto &c : cores_)
+            if (c->thread() && !c->done())
+                ++live;
+        return live > 0 ? live : 1;
+    };
+
+    for (;;) {
+        const Cycle used = cycle_ - start;
+        if (used >= max_cycles)
+            return false;
+        const std::uint64_t insts = totalCommittedInsts();
+        const Cycle chunk = std::min<Cycle>(
+            kDetailChunk,
+            std::max<Cycle>(
+                1, (close_target_insts - insts) / liveCores()));
+        const RunResult seg =
+            runSegment(std::min(chunk, max_cycles - used));
+        const bool finished = !seg.timedOut;
+        const std::uint64_t after = totalCommittedInsts();
+        if (after >= close_target_insts ||
+            (finished && after > start_insts)) {
+            if (out)
+                *out = {cycle_ - start, after - start_insts};
+            return true;
+        }
+        if (finished)
+            return false; // quiesced without committing anything
+    }
 }
 
 RunResult
@@ -1029,12 +1086,24 @@ System::configHash() const
     // enabled, so every exact-run hash is unchanged, while sampled
     // and exact runs of the same workload — or two different
     // schedules — can never alias in the snapshot cache or result
-    // store.
-    if (sampleParams_.enabled()) {
+    // store. Adaptive runs (DESIGN.md §15) additionally fold the
+    // resolved CI target and period clamps, so an adaptive run can
+    // never alias a fixed-schedule run even at its converged period
+    // (fixed-schedule hashes stay byte-identical to the pre-adaptive
+    // format).
+    if (sampleParams_.enabled() || sampleParams_.adaptive()) {
         h.u32(0x5A3D11E5u); // domain tag: "sampled"
         h.u64(sampleParams_.period);
         h.u64(sampleParams_.window);
         h.u64(sampleParams_.warm);
+        if (sampleParams_.adaptive()) {
+            const sampling::SampleParams r =
+                sampleParams_.resolvedAdaptive();
+            h.u32(0xAD5C4ED5u); // domain tag: "adaptive schedule"
+            h.f64(r.ciTarget);
+            h.u64(r.minPeriod);
+            h.u64(r.maxPeriod);
+        }
     }
     return h.value();
 }

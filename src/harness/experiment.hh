@@ -59,6 +59,22 @@ struct RegionResult
     double ciHighCycles = 0.0;
     /** @} */
 
+    /** @{ @name Sample-replay / adaptive-schedule provenance
+     * (DESIGN.md §15). Replayed runs restore every measured window
+     * from cached snapshots and re-run only the detailed windows —
+     * results stay bit-identical to the originating run. Adaptive
+     * runs record the schedule the matched-pair controller converged
+     * to and the relative CI half-width it achieved. */
+    bool sampleReplayed = false;       ///< served by window replay
+    std::uint64_t replayedWindows = 0; ///< windows re-run from snapshots
+    double ciTarget = 0.0;       ///< requested rel. half-width (0 = fixed)
+    double achievedRelHw = 0.0;  ///< measured relative CI half-width
+    unsigned adaptiveIterations = 0;   ///< schedules the controller tried
+    std::uint64_t convergedPeriod = 0; ///< converged schedule (adaptive)
+    std::uint64_t convergedWindow = 0;
+    std::uint64_t convergedWarm = 0;
+    /** @} */
+
     /** Cycles per work unit (Fig. 12's y-axis). */
     double
     cyclesPerUnit() const

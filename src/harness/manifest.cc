@@ -162,6 +162,23 @@ writeRunManifest(const std::vector<RegionJob> &jobs,
                 w.kv("warmed_insts", results[i].warmedInsts);
                 w.kv("ci_low_cycles", results[i].ciLowCycles);
                 w.kv("ci_high_cycles", results[i].ciHighCycles);
+                // Replay / adaptive provenance (DESIGN.md §15):
+                // whether the run was served from its cached replay
+                // set, and — for adaptive runs — the schedule the
+                // controller converged to and the half-width it hit.
+                w.kv("replayed", results[i].sampleReplayed);
+                w.kv("replayed_windows", results[i].replayedWindows);
+                if (results[i].ciTarget > 0.0) {
+                    w.key("adaptive");
+                    w.beginObject();
+                    w.kv("ci_target", results[i].ciTarget);
+                    w.kv("achieved_rel_hw", results[i].achievedRelHw);
+                    w.kv("iterations", results[i].adaptiveIterations);
+                    w.kv("period", results[i].convergedPeriod);
+                    w.kv("window", results[i].convergedWindow);
+                    w.kv("warm", results[i].convergedWarm);
+                    w.endObject();
+                }
                 w.endObject();
             }
             // Per-job host-time attribution (REMAP_PROFILE runs).

@@ -118,12 +118,23 @@ SnapshotCache::setMemoryCapBytes(std::size_t cap)
     evictLocked();
 }
 
+std::size_t
+SnapshotCache::memoryCapBytes() const
+{
+    std::lock_guard lock(mu_);
+    return capBytes_;
+}
+
 void
 SnapshotCache::clear()
 {
     std::lock_guard lock(mu_);
     entries_.clear();
     bytes_ = 0;
+    stats_.bytes = 0;
+    stats_.entries = 0;
+    stats_.windowBytes = 0;
+    stats_.windowEntries = 0;
 }
 
 std::string
@@ -152,6 +163,15 @@ SnapshotCache::makeKey(const std::string &workload,
             static_cast<unsigned long long>(spec.sample.period),
             static_cast<unsigned long long>(spec.sample.window),
             static_cast<unsigned long long>(spec.sample.warm));
+    }
+    // Adaptive requests carry their CI target as a further segment:
+    // an adaptive run can never alias a fixed-schedule run even at
+    // the period the controller converged to (the config-hash also
+    // separates them; the key keeps the distinction debuggable).
+    if (spec.sample.adaptive() && len > 0 &&
+        len < static_cast<int>(sizeof(buf))) {
+        len += std::snprintf(buf + len, sizeof(buf) - len,
+                             "/auto%.6g", spec.sample.ciTarget);
     }
     if (len > 0 && len < static_cast<int>(sizeof(buf))) {
         std::snprintf(buf + len, sizeof(buf) - len, "/%016llx",
@@ -242,12 +262,17 @@ SnapshotCache::lookup(const std::string &key,
     }
     if (e.blob) {
         bytes_ -= e.blob->size();
+        if (e.window) {
+            stats_.windowBytes -= e.blob->size();
+            --stats_.windowEntries;
+        }
     } else {
         ++stats_.entries;
     }
     e.boundary = hdr.boundaryCycle;
     e.blob = blob;
     e.lastUse = ++useClock_;
+    e.window = false; // disk loads rejoin the warm-start class
     bytes_ += blob->size();
     stats_.bytes = bytes_;
     stats_.entries = entries_.size();
@@ -265,6 +290,22 @@ SnapshotCache::store(const std::string &key, std::uint64_t config_hash,
                      Cycle boundary, std::vector<std::uint8_t> blob)
 {
     (void)config_hash; // embedded in the blob header by the saver
+    storeImpl(key, boundary, std::move(blob), /*window=*/false);
+}
+
+void
+SnapshotCache::storeWindow(const std::string &key,
+                           std::uint64_t config_hash, Cycle boundary,
+                           std::vector<std::uint8_t> blob)
+{
+    (void)config_hash; // embedded in the blob header by the saver
+    storeImpl(key, boundary, std::move(blob), /*window=*/true);
+}
+
+void
+SnapshotCache::storeImpl(const std::string &key, Cycle boundary,
+                         std::vector<std::uint8_t> blob, bool window)
+{
     auto shared = std::make_shared<const std::vector<std::uint8_t>>(
         std::move(blob));
     std::string disk_path;
@@ -281,12 +322,23 @@ SnapshotCache::store(const std::string &key, std::uint64_t config_hash,
         }
         if (e.blob) {
             bytes_ -= e.blob->size();
+            if (e.window) {
+                stats_.windowBytes -= e.blob->size();
+                --stats_.windowEntries;
+            }
         }
         e.boundary = boundary;
         e.blob = shared;
         e.lastUse = ++useClock_;
+        e.window = window;
         bytes_ += shared->size();
-        ++stats_.stores;
+        if (window) {
+            ++stats_.windowStores;
+            stats_.windowBytes += shared->size();
+            ++stats_.windowEntries;
+        } else {
+            ++stats_.stores;
+        }
         stats_.bytes = bytes_;
         stats_.entries = entries_.size();
         evictLocked();
@@ -334,7 +386,13 @@ SnapshotCache::reject(const std::string &key)
     std::lock_guard lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-        bytes_ -= it->second.blob ? it->second.blob->size() : 0;
+        const std::size_t sz =
+            it->second.blob ? it->second.blob->size() : 0;
+        bytes_ -= sz;
+        if (it->second.window) {
+            stats_.windowBytes -= sz;
+            --stats_.windowEntries;
+        }
         entries_.erase(it);
     }
     ++stats_.rejected;
@@ -346,15 +404,35 @@ void
 SnapshotCache::evictLocked()
 {
     while (bytes_ > capBytes_ && entries_.size() > 1) {
-        auto victim = entries_.begin();
+        // Window-class (replay) entries go first: a shed replay set
+        // costs one re-warmed run, a shed warm-start snapshot costs
+        // every later run of its key. Within a class, plain LRU.
+        auto victim = entries_.end();
+        auto any = entries_.begin();
         for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-            if (it->second.lastUse < victim->second.lastUse) {
+            if (it->second.lastUse < any->second.lastUse) {
+                any = it;
+            }
+            if (it->second.window &&
+                (victim == entries_.end() ||
+                 it->second.lastUse < victim->second.lastUse)) {
                 victim = it;
             }
         }
-        bytes_ -= victim->second.blob ? victim->second.blob->size() : 0;
+        if (victim == entries_.end()) {
+            victim = any;
+        }
+        const std::size_t sz =
+            victim->second.blob ? victim->second.blob->size() : 0;
+        bytes_ -= sz;
+        if (victim->second.window) {
+            stats_.windowBytes -= sz;
+            --stats_.windowEntries;
+            ++stats_.windowEvictions;
+        } else {
+            ++stats_.evictions;
+        }
         entries_.erase(victim);
-        ++stats_.evictions;
     }
     stats_.bytes = bytes_;
     stats_.entries = entries_.size();
@@ -380,6 +458,11 @@ SnapshotCache::dumpStatsJson(json::Writer &w) const
     w.kv("evictions", st.evictions);
     w.kv("bytes", static_cast<std::uint64_t>(st.bytes));
     w.kv("entries", static_cast<std::uint64_t>(st.entries));
+    w.kv("window_stores", st.windowStores);
+    w.kv("window_evictions", st.windowEvictions);
+    w.kv("window_bytes", static_cast<std::uint64_t>(st.windowBytes));
+    w.kv("window_entries",
+         static_cast<std::uint64_t>(st.windowEntries));
     w.endObject();
 }
 
@@ -396,6 +479,14 @@ SnapshotCache::summary() const
     }
     if (st.evictions) {
         extra += ", " + std::to_string(st.evictions) + " evicted";
+    }
+    if (st.windowStores) {
+        extra += ", " + std::to_string(st.windowStores) +
+                 " replay windows";
+        if (st.windowEvictions) {
+            extra += " (" + std::to_string(st.windowEvictions) +
+                     " shed)";
+        }
     }
     char buf[224];
     std::snprintf(

@@ -72,6 +72,17 @@ class SnapshotCache
         std::uint64_t evictions = 0; ///< entries dropped by the cap
         std::size_t bytes = 0;       ///< resident in-memory bytes
         std::size_t entries = 0;     ///< resident in-memory entries
+        /** @{ @name Window-snapshot accounting (DESIGN.md §15).
+         * Replay-window entries share the REMAP_CKPT_MEM byte budget
+         * but are accounted separately and evicted *first*: they are
+         * a pure replay optimization, while warm-start entries serve
+         * every sweep, so a long sampled sweep degrades by shedding
+         * replay sets, never by starving warm starts. */
+        std::uint64_t windowStores = 0;    ///< window snapshots captured
+        std::uint64_t windowEvictions = 0; ///< window entries shed
+        std::size_t windowBytes = 0;       ///< resident window bytes
+        std::size_t windowEntries = 0;     ///< resident window entries
+        /** @} */
     };
 
     /** The process-wide instance (reads the environment once). */
@@ -89,6 +100,8 @@ class SnapshotCache
 
     /** Cap on resident in-memory snapshot bytes (LRU eviction). */
     void setMemoryCapBytes(std::size_t cap);
+    /** The current byte cap (REMAP_CKPT_MEM unless overridden). */
+    std::size_t memoryCapBytes() const;
 
     /** Point on-disk persistence at @p dir (created if absent;
      *  empty string turns persistence off). Normally set once from
@@ -124,6 +137,17 @@ class SnapshotCache
     void store(const std::string &key, std::uint64_t config_hash,
                Cycle boundary, std::vector<std::uint8_t> blob);
 
+    /**
+     * store() for a replay-window snapshot (checkpointed sample
+     * replay, DESIGN.md §15). Same semantics, but the entry is
+     * accounted in the window-snapshot stats and evicted before any
+     * warm-start entry when REMAP_CKPT_MEM pressure hits — replay
+     * sets are many entries per run and strictly an optimization.
+     */
+    void storeWindow(const std::string &key,
+                     std::uint64_t config_hash, Cycle boundary,
+                     std::vector<std::uint8_t> blob);
+
     /** Mark a looked-up blob as unusable (restore failed): drops the
      *  in-memory entry and counts a rejection, so a corrupt disk file
      *  cannot be handed out twice. */
@@ -149,10 +173,14 @@ class SnapshotCache
         Cycle boundary = 0;
         Blob blob;
         std::uint64_t lastUse = 0;
+        bool window = false; ///< replay-window entry (evicted first)
     };
 
-    /** Evict least-recently-used entries until under the cap.
-     *  Caller holds mu_. */
+    /** Shared store()/storeWindow() implementation. */
+    void storeImpl(const std::string &key, Cycle boundary,
+                   std::vector<std::uint8_t> blob, bool window);
+    /** Evict least-recently-used entries until under the cap —
+     *  window-class entries first. Caller holds mu_. */
     void evictLocked();
     /** Disk path for @p key (empty when persistence is off). */
     std::string diskPath(const std::string &key) const;

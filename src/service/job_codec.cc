@@ -152,15 +152,35 @@ parseJobObject(const json::Value &j, JobRequest *out,
         const json::Value &s = j.at("sample");
         if (!s.isObject())
             return fail(error, "'sample' must be an object");
-        if (!out->spec.sample.enabled())
+        // Adaptive schedules (DESIGN.md §15): "ci_target" asks the
+        // matched-pair controller to pick the period; an explicit
+        // "period" alongside it seeds the controller instead.
+        if (s.has("ci_target")) {
+            const json::Value &t = s.at("ci_target");
+            if (!t.isNumber() || !(t.num > 0.0) || !(t.num < 1.0))
+                return fail(error,
+                            "'ci_target' must be a number in (0, 1)");
+            if (!out->spec.sample.active())
+                out->spec.sample =
+                    sampling::SampleParams::autoDefaults();
+            else if (!s.has("period"))
+                out->spec.sample.period = 0; // controller picks it
+            out->spec.sample.ciTarget = t.num;
+            if (!readU64(s, "min_period",
+                         &out->spec.sample.minPeriod, error) ||
+                !readU64(s, "max_period",
+                         &out->spec.sample.maxPeriod, error))
+                return false;
+        }
+        if (!out->spec.sample.active())
             out->spec.sample = sampling::SampleParams::defaults();
         if (!readU64(s, "period", &out->spec.sample.period, error) ||
             !readU64(s, "window", &out->spec.sample.window, error) ||
             !readU64(s, "warm", &out->spec.sample.warm, error))
             return false;
-        if (!out->spec.sample.enabled())
-            return fail(error,
-                        "'sample' must have a non-zero period");
+        if (!out->spec.sample.active())
+            return fail(error, "'sample' must have a non-zero "
+                               "period or a 'ci_target'");
     }
     out->poison =
         j.has("poison") && j.at("poison").isBool() &&
@@ -172,14 +192,22 @@ parseJobObject(const json::Value &j, JobRequest *out,
 void
 writeJobSampling(json::Writer &w, const JobRequest &job)
 {
-    if (!job.spec.sample.enabled())
+    if (!job.spec.sample.active())
         return;
     w.kv("mode", "sampled");
     w.key("sample");
     w.beginObject();
-    w.kv("period", job.spec.sample.period);
+    if (job.spec.sample.period > 0)
+        w.kv("period", job.spec.sample.period);
     w.kv("window", job.spec.sample.window);
     w.kv("warm", job.spec.sample.warm);
+    if (job.spec.sample.adaptive()) {
+        w.kvExact("ci_target", job.spec.sample.ciTarget);
+        if (job.spec.sample.minPeriod > 0)
+            w.kv("min_period", job.spec.sample.minPeriod);
+        if (job.spec.sample.maxPeriod > 0)
+            w.kv("max_period", job.spec.sample.maxPeriod);
+    }
     w.endObject();
 }
 
@@ -313,6 +341,19 @@ writeRegionResultJson(json::Writer &w,
         w.kv("warmed_insts", res.warmedInsts);
         w.kvExact("ci_low_cycles", res.ciLowCycles);
         w.kvExact("ci_high_cycles", res.ciHighCycles);
+        w.kv("replayed", res.sampleReplayed);
+        w.kv("replayed_windows", res.replayedWindows);
+        if (res.ciTarget > 0.0) {
+            w.key("adaptive");
+            w.beginObject();
+            w.kvExact("ci_target", res.ciTarget);
+            w.kvExact("achieved_rel_hw", res.achievedRelHw);
+            w.kv("iterations", res.adaptiveIterations);
+            w.kv("period", res.convergedPeriod);
+            w.kv("window", res.convergedWindow);
+            w.kv("warm", res.convergedWarm);
+            w.endObject();
+        }
         w.endObject();
     }
     if (!res.hostPhaseMs.empty()) {
@@ -367,6 +408,33 @@ parseRegionResult(const json::Value &v, harness::RegionResult *out,
         if (s.has("ci_high_cycles") &&
             s.at("ci_high_cycles").isNumber())
             out->ciHighCycles = s.at("ci_high_cycles").num;
+        if (s.has("replayed") && s.at("replayed").isBool())
+            out->sampleReplayed = s.at("replayed").boolean;
+        if (s.has("replayed_windows") &&
+            s.at("replayed_windows").isNumber())
+            out->replayedWindows = static_cast<std::uint64_t>(
+                s.at("replayed_windows").num);
+        if (s.has("adaptive") && s.at("adaptive").isObject()) {
+            const json::Value &a = s.at("adaptive");
+            if (a.has("ci_target") && a.at("ci_target").isNumber())
+                out->ciTarget = a.at("ci_target").num;
+            if (a.has("achieved_rel_hw") &&
+                a.at("achieved_rel_hw").isNumber())
+                out->achievedRelHw = a.at("achieved_rel_hw").num;
+            if (a.has("iterations") &&
+                a.at("iterations").isNumber())
+                out->adaptiveIterations = static_cast<unsigned>(
+                    a.at("iterations").num);
+            if (a.has("period") && a.at("period").isNumber())
+                out->convergedPeriod = static_cast<std::uint64_t>(
+                    a.at("period").num);
+            if (a.has("window") && a.at("window").isNumber())
+                out->convergedWindow = static_cast<std::uint64_t>(
+                    a.at("window").num);
+            if (a.has("warm") && a.at("warm").isNumber())
+                out->convergedWarm = static_cast<std::uint64_t>(
+                    a.at("warm").num);
+        }
     }
     if (v.has("host_ms") && v.at("host_ms").isObject())
         for (const auto &[phase, ms] : v.at("host_ms").obj)

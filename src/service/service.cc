@@ -45,7 +45,7 @@ workloads::RunSpec
 effectiveSpec(const workloads::RunSpec &spec)
 {
     workloads::RunSpec eff = spec;
-    if (!eff.sample.enabled())
+    if (!eff.sample.active())
         eff.sample = env::sampleParams();
     return eff;
 }
@@ -117,6 +117,12 @@ SweepService::runBatch(const BatchRequest &batch, std::ostream &out,
     std::deque<std::size_t> pending;
     std::size_t completed = 0;
     ResultStore &store = ResultStore::instance();
+    // Store identity per job, computed once by the stage-1 probe.
+    // Stage 2 must store under the *same* key/hash the probe looked
+    // up: an adaptive job's result reports the converged schedule's
+    // hash, which would never match a later probe of the request.
+    std::vector<std::string> probeKey(n);
+    std::vector<std::uint64_t> probeHash(n, 0);
 
     auto finish = [&](std::size_t i, JobOutcome o) {
         o.id = i;
@@ -148,6 +154,8 @@ SweepService::runBatch(const BatchRequest &batch, std::ostream &out,
         const std::uint64_t hash = probe.system->configHash();
         const std::string key = harness::SnapshotCache::makeKey(
             jobs[i].info->name, spec, hash);
+        probeKey[i] = key;
+        probeHash[i] = hash;
         harness::RegionResult cached;
         if (store.lookup(key, hash, &cached)) {
             JobOutcome o;
@@ -292,14 +300,10 @@ SweepService::runBatch(const BatchRequest &batch, std::ostream &out,
                     s.inflight = -1;
                     if (o.ok) {
                         ++summary.simulated;
-                        if (opts_.useStore) {
-                            const std::string key =
-                                harness::SnapshotCache::makeKey(
-                                    jobs[o.id].info->name,
-                                    effectiveSpec(jobs[o.id].spec),
-                                    o.result.configHash);
-                            store.store(key, o.result.configHash,
-                                        o.result);
+                        if (opts_.useStore &&
+                            !probeKey[o.id].empty()) {
+                            store.store(probeKey[o.id],
+                                        probeHash[o.id], o.result);
                         }
                     }
                     finish(o.id, o);

@@ -17,12 +17,15 @@
  *  - REMAP_NO_BLOCK_CACHE=1 disable the decoded basic-block cache
  *  - REMAP_NO_MRU=1         disable the cache MRU-way fast path
  *  - REMAP_NO_THREADED=1    disable computed-goto threaded dispatch
- *  - REMAP_SAMPLE=P[,W[,M]] default sampled-mode schedule (see
+ *  - REMAP_NO_SAMPLE_REPLAY=1 disable checkpointed sample replay
+ *  - REMAP_SAMPLE=...       default sampled-mode schedule (see
  *                           env::sampleParams())
  */
 
 #ifndef REMAP_SIM_ENV_HH
 #define REMAP_SIM_ENV_HH
+
+#include <string>
 
 #include "sim/sampling.hh"
 
@@ -42,15 +45,36 @@ bool noMru();
  *  (generic switch dispatch everywhere). */
 bool noThreaded();
 
+/** True when REMAP_NO_SAMPLE_REPLAY is set: checkpointed sample
+ *  replay disabled — sampled runs always re-simulate functional
+ *  warming, exactly the pre-replay behaviour. */
+bool noSampleReplay();
+
+/**
+ * Strict REMAP_SAMPLE-value parser. Accepted forms:
+ *
+ *   "1"                    the built-in default schedule
+ *   "P" / "P,M" / "P,M,W"  explicit period / measured-window /
+ *                          detailed-warm-up lengths in committed
+ *                          instructions (decimal, no signs)
+ *   "auto"                 adaptive schedule, default 2% relative
+ *                          CI half-width target
+ *   "auto,H"               adaptive with target H in (0, 1)
+ *
+ * Anything else — sign characters, empty fields, trailing garbage,
+ * a zero period or window, a window or warm+window that does not fit
+ * the period, a target outside (0, 1) — fails: @p out is left
+ * disabled and @p error receives a one-line description. Exposed so
+ * each malformed form is unit-testable without a fatal exit.
+ */
+bool parseSampleSpec(const char *text, sampling::SampleParams *out,
+                     std::string *error);
+
 /**
  * The sampled-mode schedule requested via REMAP_SAMPLE, or a
- * disabled default when the variable is unset.
- *
- * Accepted forms: "1" (the built-in default schedule),
- * "P" (period P, default window/warm lengths), "P,M" and "P,M,W"
- * (explicit period / measured-window / detailed-warm-up lengths, all
- * in committed instructions). Invalid values warn once and leave
- * sampling disabled.
+ * disabled default when the variable is unset. Malformed values are
+ * a fatal error (one clear line, via parseSampleSpec()) — a mistyped
+ * schedule must never silently fall back to exact simulation.
  */
 sampling::SampleParams sampleParams();
 

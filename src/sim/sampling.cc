@@ -1,9 +1,32 @@
 #include "sim/sampling.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace remap::sampling
 {
+
+SampleParams
+SampleParams::resolvedAdaptive() const
+{
+    SampleParams r = *this;
+    if (r.window == 0)
+        r.window = defaults().window;
+    if (r.warm == 0)
+        r.warm = defaults().warm;
+    if (r.minPeriod == 0)
+        r.minPeriod = kDefaultMinPeriod;
+    if (r.maxPeriod == 0)
+        r.maxPeriod = kDefaultMaxPeriod;
+    // A period shorter than warm+window has no functional-warming
+    // span at all; the clamps can never request one.
+    r.minPeriod = std::max(r.minPeriod, r.warm + r.window);
+    r.maxPeriod = std::max(r.maxPeriod, r.minPeriod);
+    if (r.period == 0)
+        r.period = r.maxPeriod;
+    r.period = std::clamp(r.period, r.minPeriod, r.maxPeriod);
+    return r;
+}
 
 double
 cpiMean(const std::vector<WindowSample> &windows)
@@ -70,6 +93,31 @@ estimate(const std::vector<WindowSample> &windows,
     // not "no error" — the docs call this out.
     e.ciHalfWidthCycles = 1.96 * e.cpiStderr * insts;
     return e;
+}
+
+double
+relativeHalfWidth(const Estimate &e)
+{
+    if (!e.sampled || e.estCycles <= 0.0)
+        return 0.0;
+    return e.ciHalfWidthCycles / e.estCycles;
+}
+
+std::uint64_t
+nextAdaptivePeriod(const SampleParams &p, double achieved)
+{
+    const SampleParams r = p.resolvedAdaptive();
+    double scale;
+    if (achieved <= 0.0) {
+        scale = 0.5;
+    } else {
+        const double ratio = r.ciTarget / achieved;
+        scale = std::clamp(ratio * ratio, 1.0 / 16.0, 4.0);
+    }
+    const double next = static_cast<double>(r.period) * scale;
+    const double lo = static_cast<double>(r.minPeriod);
+    const double hi = static_cast<double>(r.maxPeriod);
+    return static_cast<std::uint64_t>(std::clamp(next, lo, hi));
 }
 
 } // namespace remap::sampling

@@ -37,7 +37,26 @@ struct SampleParams
     std::uint64_t window = 0; ///< measured detailed window length
     std::uint64_t warm = 0;   ///< detailed warm-up before the window
 
+    /** @{ @name Adaptive (matched-pair) schedule control.
+     * ciTarget > 0 requests an adaptive run: the harness starts from
+     * a coarse period (maxPeriod unless `period` is set) and re-runs
+     * the region with narrower periods until the *relative* 95% CI
+     * half-width of the CPI estimate is <= ciTarget, with the period
+     * clamped to [minPeriod, maxPeriod] (0 selects the defaults
+     * below). The converged schedule is reported as provenance. */
+    double ciTarget = 0.0;       ///< relative half-width target (0 = fixed)
+    std::uint64_t minPeriod = 0; ///< lower period clamp (0 = default)
+    std::uint64_t maxPeriod = 0; ///< upper period clamp (0 = default)
+    /** @} */
+
+    static constexpr double kDefaultCiTarget = 0.02;
+    static constexpr std::uint64_t kDefaultMinPeriod = 10'000;
+    static constexpr std::uint64_t kDefaultMaxPeriod = 200'000;
+
     bool enabled() const { return period > 0; }
+    bool adaptive() const { return ciTarget > 0.0; }
+    /** Sampled execution requested in any form (fixed or adaptive). */
+    bool active() const { return enabled() || adaptive(); }
 
     /** The default schedule selected by REMAP_SAMPLE=1. */
     static SampleParams defaults()
@@ -45,10 +64,30 @@ struct SampleParams
         return SampleParams{50000, 2000, 1000};
     }
 
+    /** The adaptive request selected by REMAP_SAMPLE=auto[,H]. */
+    static SampleParams autoDefaults(double target = kDefaultCiTarget)
+    {
+        SampleParams p;
+        p.window = defaults().window;
+        p.warm = defaults().warm;
+        p.ciTarget = target;
+        return p;
+    }
+
+    /**
+     * A copy with every adaptive field made concrete: window/warm
+     * defaulted when zero, clamps resolved (minPeriod raised to at
+     * least warm+window, maxPeriod raised to at least minPeriod) and
+     * the period defaulted to maxPeriod — the coarse starting point —
+     * then clamped into [minPeriod, maxPeriod].
+     */
+    SampleParams resolvedAdaptive() const;
+
     friend bool operator==(const SampleParams &a, const SampleParams &b)
     {
         return a.period == b.period && a.window == b.window &&
-               a.warm == b.warm;
+               a.warm == b.warm && a.ciTarget == b.ciTarget &&
+               a.minPeriod == b.minPeriod && a.maxPeriod == b.maxPeriod;
     }
 };
 
@@ -107,6 +146,25 @@ Estimate estimate(const std::vector<WindowSample> &windows,
                   std::uint64_t total_insts,
                   std::uint64_t measured_cycles,
                   std::uint64_t warmed_insts);
+
+/** Relative 95% CI half-width of @p e (half-width over estimated
+ *  cycles); 0 for non-sampled or degenerate estimates — including the
+ *  single-window "no variance information" case. */
+double relativeHalfWidth(const Estimate &e);
+
+/**
+ * One matched-pair controller step: the period to try after a run at
+ * @p p (a concrete schedule carrying the adaptive fields) achieved a
+ * relative half-width of @p achieved. The half-width scales like
+ * 1/sqrt(#windows) and #windows like 1/period, so the period that
+ * hits the target scales by (target/achieved)^2; the per-step scale
+ * is bounded to [1/16, 4] (variance estimates from few windows are
+ * noisy) and the result clamped to [max(minPeriod, warm+window),
+ * maxPeriod]. @p achieved <= 0 means "no variance information"
+ * (fewer than two windows): the period halves to buy more windows.
+ */
+std::uint64_t nextAdaptivePeriod(const SampleParams &p,
+                                 double achieved);
 
 } // namespace remap::sampling
 

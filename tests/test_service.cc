@@ -299,6 +299,82 @@ TEST(JobCodec, SampledJobRoundTripsSchedule)
     EXPECT_EQ(back.result.ciHighCycles, 2.0 / 3.0);
 }
 
+TEST(JobCodec, AdaptiveSampledJobRoundTrips)
+{
+    // Adaptive request (DESIGN.md §15): ci_target with no period.
+    JobRequest job;
+    job.workload = "ll3";
+    job.info = service::findWorkload("ll3");
+    job.spec.variant = Variant::HwBarrier;
+    job.spec.problemSize = 256;
+    job.spec.threads = 8;
+    job.spec.sample = sampling::SampleParams::autoDefaults(0.05);
+    job.spec.sample.minPeriod = 20000;
+    job.spec.sample.maxPeriod = 400000;
+
+    std::ostringstream os;
+    service::writeJobLine(os, 4, job);
+    EXPECT_NE(os.str().find("\"ci_target\""), std::string::npos)
+        << os.str();
+
+    std::size_t id = 0;
+    JobRequest parsed;
+    std::string error;
+    ASSERT_TRUE(
+        service::parseJobLine(os.str(), &id, &parsed, &error))
+        << error;
+    EXPECT_TRUE(parsed.spec.sample == job.spec.sample);
+    EXPECT_TRUE(parsed.spec.sample.adaptive());
+    EXPECT_FALSE(parsed.spec.sample.enabled());
+
+    // A seeded adaptive request (explicit period alongside the
+    // target) round-trips both.
+    job.spec.sample.period = 100000;
+    std::ostringstream os2;
+    service::writeJobLine(os2, 5, job);
+    ASSERT_TRUE(
+        service::parseJobLine(os2.str(), &id, &parsed, &error))
+        << error;
+    EXPECT_TRUE(parsed.spec.sample == job.spec.sample);
+
+    // Out-of-range targets are rejected.
+    BatchRequest batch;
+    EXPECT_FALSE(service::parseBatchRequest(
+        R"({"jobs":[{"workload":"ll2","variant":"Seq",)"
+        R"("sample":{"ci_target":1.5}}]})",
+        &batch, &error));
+
+    // Adaptive results round-trip the controller provenance.
+    JobOutcome o;
+    o.id = 7;
+    o.ok = true;
+    o.result.cycles = 100200;
+    o.result.configHash = 0xabc0000000000003ull;
+    o.result.sampled = true;
+    o.result.sampleWindows = 40;
+    o.result.sampleReplayed = true;
+    o.result.replayedWindows = 40;
+    o.result.ciTarget = 0.05;
+    o.result.achievedRelHw = 1.0 / 30.0;
+    o.result.adaptiveIterations = 3;
+    o.result.convergedPeriod = 50000;
+    o.result.convergedWindow = 2000;
+    o.result.convergedWarm = 1000;
+    std::ostringstream rs;
+    service::writeResultLine(rs, o);
+    JobOutcome back;
+    ASSERT_TRUE(service::parseResultLine(rs.str(), &back, &error))
+        << error;
+    EXPECT_TRUE(back.result.sampleReplayed);
+    EXPECT_EQ(back.result.replayedWindows, 40u);
+    EXPECT_EQ(back.result.ciTarget, 0.05);
+    EXPECT_EQ(back.result.achievedRelHw, 1.0 / 30.0);
+    EXPECT_EQ(back.result.adaptiveIterations, 3u);
+    EXPECT_EQ(back.result.convergedPeriod, 50000u);
+    EXPECT_EQ(back.result.convergedWindow, 2000u);
+    EXPECT_EQ(back.result.convergedWarm, 1000u);
+}
+
 // ---------------------------------------------------------------- //
 // ResultStore
 // ---------------------------------------------------------------- //
